@@ -1,0 +1,40 @@
+// Command compare runs the four-architecture shoot-out that quantifies the
+// paper's Section 1/6 arguments: Phastlane versus the electrical baseline,
+// a Corona-style MWSR token-bus optical crossbar, and a Columbia-style
+// circuit-switched photonic mesh, on identical uniform traffic and an
+// identical coherence trace.
+//
+// Usage:
+//
+//	compare
+//	compare -benchmark Ocean -messages 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phastlane/internal/figures"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "LU", "coherence workload for the trace round")
+	messages := flag.Int("messages", 8000, "trace length")
+	measure := flag.Int("measure", 3000, "measurement cycles per synthetic point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	results, err := figures.Compare(figures.CompareOpts{
+		Benchmark: *benchmark, Messages: *messages,
+		Measure: *measure, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	fmt.Println(figures.CompareTable(results, nil))
+	fmt.Println("Phastlane combines the bus designs' low unicast latency with")
+	fmt.Println("switched multicast, avoiding the single broadcast bus (Corona) and")
+	fmt.Println("the per-packet electrical setup round-trip (circuit switching).")
+}

@@ -1,0 +1,65 @@
+// Command designspace prints the paper's Section 3 design-space analyses:
+// device-delay scaling (Fig. 4), router critical paths (Fig. 5), per-cycle
+// hop limits (Fig. 6), peak optical power (Fig. 7), router area (Fig. 8),
+// and the configuration tables (Tables 1-4).
+//
+// Usage:
+//
+//	designspace            # print everything
+//	designspace -fig 7     # one figure
+//	designspace -tables    # only Tables 1-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phastlane/internal/figures"
+	"phastlane/internal/stats"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "print a single figure (4-8); 0 prints all")
+	tables := flag.Bool("tables", false, "print only Tables 1-4")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	render := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+
+	figs := map[int]func() *stats.Table{
+		4: figures.Fig4,
+		5: figures.Fig5,
+		6: figures.Fig6,
+		7: figures.Fig7,
+		8: figures.Fig8,
+	}
+	if *tables {
+		render(figures.Table1())
+		render(figures.Table2())
+		render(figures.Table3())
+		render(figures.Table4())
+		return
+	}
+	if *fig != 0 {
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "designspace: no figure %d (want 4-8)\n", *fig)
+			os.Exit(2)
+		}
+		render(f())
+		return
+	}
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		render(figs[n]())
+	}
+	render(figures.Table1())
+	render(figures.Table2())
+	render(figures.Table3())
+	render(figures.Table4())
+}

@@ -1,0 +1,92 @@
+// Command electrical runs one baseline electrical-network simulation (the
+// Table 2 virtual-channel router mesh) and reports latency, throughput and
+// power, mirroring cmd/phastlane for head-to-head comparisons.
+//
+// Usage:
+//
+//	electrical -traffic Uniform -rate 0.1
+//	electrical -delay 2 -trace ocean.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phastlane/internal/electrical"
+	"phastlane/internal/photonic"
+	"phastlane/internal/sim"
+	"phastlane/internal/trace"
+	"phastlane/internal/traffic"
+)
+
+func main() {
+	trafficName := flag.String("traffic", "Uniform", "pattern: Uniform, BitComp, BitRev, Shuffle, Transpose")
+	rate := flag.Float64("rate", 0.05, "injection rate (packets/node/cycle)")
+	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
+	delay := flag.Int("delay", 3, "per-hop router delay in cycles (2 or 3)")
+	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := electrical.DefaultConfig()
+	cfg.RouterDelay = *delay
+	cfg.Seed = *seed
+	net := electrical.New(cfg)
+
+	var res sim.Result
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fail(err)
+		}
+		res, err = sim.RunTrace(net, tr, sim.ReplayConfig{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d messages, makespan %d cycles\n", len(tr.Messages), res.Makespan)
+	} else {
+		pattern, err := patternByName(*trafficName)
+		if err != nil {
+			fail(err)
+		}
+		res = sim.RunRate(net, sim.RateConfig{
+			Pattern: pattern, Rate: *rate, Measure: *measure, Seed: *seed,
+		})
+		fmt.Printf("pattern %s at rate %.3f over %d cycles\n", *trafficName, *rate, *measure)
+	}
+	fmt.Printf("delivered %d messages; avg latency %.2f cycles (p99 %.0f)\n",
+		res.Run.Delivered, res.Run.Latency.Mean(), res.Run.Latency.Percentile(99))
+	fmt.Printf("throughput %.4f pkts/node/cycle; network power %.2f W\n",
+		res.Run.ThroughputPerNode(net.Nodes()), res.Run.PowerW(photonic.DefaultClockGHz))
+	if res.Saturated {
+		fmt.Println("NOTE: the network saturated at this load")
+	}
+}
+
+func patternByName(name string) (traffic.Pattern, error) {
+	switch name {
+	case "Uniform":
+		return traffic.UniformRandom(64, 7), nil
+	case "BitComp":
+		return traffic.BitComplement(64), nil
+	case "BitRev":
+		return traffic.BitReverse(64), nil
+	case "Shuffle":
+		return traffic.Shuffle(64), nil
+	case "Transpose":
+		return traffic.Transpose(64), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "electrical:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command phastlane runs one Phastlane optical-network simulation and
+// reports latency, throughput, drops and power. Traffic is either a
+// synthetic pattern at a fixed injection rate or a trace file produced by
+// tracegen.
+//
+// Usage:
+//
+//	phastlane -traffic Uniform -rate 0.1
+//	phastlane -traffic Transpose -rate 0.2 -hops 5 -buffers 32
+//	phastlane -trace ocean.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phastlane/internal/core"
+	"phastlane/internal/packet"
+	"phastlane/internal/photonic"
+	"phastlane/internal/sim"
+	"phastlane/internal/trace"
+	"phastlane/internal/traffic"
+)
+
+func main() {
+	trafficName := flag.String("traffic", "Uniform", "pattern: Uniform, BitComp, BitRev, Shuffle, Transpose")
+	rate := flag.Float64("rate", 0.05, "injection rate (packets/node/cycle)")
+	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
+	hops := flag.Int("hops", 4, "max hops per cycle (4, 5, or 8)")
+	buffers := flag.Int("buffers", 10, "electrical buffer entries per port (-1 = infinite)")
+	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.MaxHops = *hops
+	cfg.BufferEntries = *buffers
+	cfg.Seed = *seed
+	net := core.New(cfg)
+
+	var res sim.Result
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fail(err)
+		}
+		res, err = sim.RunTrace(net, tr, sim.ReplayConfig{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d messages, makespan %d cycles\n", len(tr.Messages), res.Makespan)
+		for op := packet.Op(0); op < packet.NumOps; op++ {
+			if l := res.LatencyByOp[op]; l != nil {
+				fmt.Printf("  %-10s %6d msgs, avg latency %6.1f cycles\n", op, l.Count(), l.Mean())
+			}
+		}
+	} else {
+		pattern, err := patternByName(*trafficName)
+		if err != nil {
+			fail(err)
+		}
+		res = sim.RunRate(net, sim.RateConfig{
+			Pattern: pattern, Rate: *rate, Measure: *measure, Seed: *seed,
+		})
+		fmt.Printf("pattern %s at rate %.3f over %d cycles\n", *trafficName, *rate, *measure)
+	}
+	report(res, net.Nodes())
+}
+
+func patternByName(name string) (traffic.Pattern, error) {
+	switch name {
+	case "Uniform":
+		return traffic.UniformRandom(64, 7), nil
+	case "BitComp":
+		return traffic.BitComplement(64), nil
+	case "BitRev":
+		return traffic.BitReverse(64), nil
+	case "Shuffle":
+		return traffic.Shuffle(64), nil
+	case "Transpose":
+		return traffic.Transpose(64), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func report(res sim.Result, nodes int) {
+	fmt.Printf("delivered %d messages; avg latency %.2f cycles (p99 %.0f, max %.0f)\n",
+		res.Run.Delivered, res.Run.Latency.Mean(), res.Run.Latency.Percentile(99), res.Run.Latency.Max())
+	fmt.Printf("throughput %.4f pkts/node/cycle; drops %d; retries %d; buffered %d\n",
+		res.Run.ThroughputPerNode(nodes), res.Run.Drops, res.Run.Retries, res.Run.BufferedPackets)
+	fmt.Printf("network power %.2f W (optical %.2f W, electrical %.2f W, leakage %.2f W)\n",
+		res.Run.PowerW(photonic.DefaultClockGHz),
+		powerShare(res, res.Run.OpticalEnergyPJ),
+		powerShare(res, res.Run.ElectricalEnergyPJ),
+		powerShare(res, res.Run.LeakagePJ))
+	if res.Saturated {
+		fmt.Println("NOTE: the network saturated at this load")
+	}
+}
+
+func powerShare(res sim.Result, pj float64) float64 {
+	total := res.Run.TotalEnergyPJ()
+	if total == 0 {
+		return 0
+	}
+	return res.Run.PowerW(photonic.DefaultClockGHz) * pj / total
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "phastlane:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command reproduce regenerates the paper's entire evaluation in one run
+// and writes each table/figure to a results directory as both an aligned
+// text table and CSV: Figs. 4-8 and Tables 1-4 (design space), Fig. 9
+// (synthetic sweeps), Figs. 10-11 (SPLASH2 speedup and power), the
+// headline summary, and the beyond-the-paper architecture comparison and
+// sensitivity sweep.
+//
+// Usage:
+//
+//	reproduce -out results/              # full scale (several minutes)
+//	reproduce -out results/ -quick       # reduced scale (tens of seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"phastlane/internal/figures"
+	"phastlane/internal/stats"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "reduced-scale run")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	write := func(name string, t *stats.Table) {
+		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(t.String()), 0o644); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", name)
+	}
+
+	// Design space: cheap, always full scale.
+	write("fig4_scaling", figures.Fig4())
+	write("fig5_critical_paths", figures.Fig5())
+	write("fig6_max_hops", figures.Fig6())
+	write("fig7_peak_power", figures.Fig7())
+	write("fig8_area", figures.Fig8())
+	write("table1_optical_config", figures.Table1())
+	write("table2_electrical_config", figures.Table2())
+	write("table3_benchmarks", figures.Table3())
+	write("table4_cache_config", figures.Table4())
+
+	// Fig. 9 sweeps.
+	f9 := figures.Fig9Opts{Seed: *seed}
+	if *quick {
+		f9.Rates = []float64{0.02, 0.10, 0.20}
+		f9.Warmup, f9.Measure = 300, 1000
+	}
+	for _, res := range figures.Fig9(f9) {
+		write("fig9_"+res.Pattern, figures.Fig9Table(res))
+	}
+
+	// Figs. 10-11.
+	so := figures.SplashOpts{Seed: *seed}
+	if *quick {
+		so.Messages = 5000
+	}
+	rows, err := figures.Splash(so)
+	if err != nil {
+		fail(err)
+	}
+	write("fig10_speedup", figures.Fig10Table(rows))
+	write("fig11_power", figures.Fig11Table(rows))
+	h := figures.Summarise(rows, "Optical4")
+	headline := fmt.Sprintf("Optical4 headline: %.2fx geomean network speedup, %.0f%% lower network power (paper: 2X, 80%%)\n",
+		h.GeoMeanSpeedup, h.PowerReduction*100)
+	if err := os.WriteFile(filepath.Join(*out, "headline.txt"), []byte(headline), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Print(headline)
+
+	// Beyond the paper.
+	co := figures.CompareOpts{Seed: *seed}
+	if *quick {
+		co.Messages, co.Measure = 3000, 1000
+	}
+	cmp, err := figures.Compare(co)
+	if err != nil {
+		fail(err)
+	}
+	write("comparison_architectures", figures.CompareTable(cmp, nil))
+
+	sv := figures.SensitivityOpts{Seed: *seed, Benchmark: "Barnes"}
+	if *quick {
+		sv.Messages = 3000
+	}
+	pts, err := figures.Sensitivity(sv)
+	if err != nil {
+		fail(err)
+	}
+	write("sensitivity_knobs", figures.SensitivityTable(pts, sv.Benchmark))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

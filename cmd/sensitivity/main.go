@@ -1,0 +1,42 @@
+// Command sensitivity sweeps the Phastlane design knobs one at a time
+// around the paper's Optical4 operating point - per-cycle hop budget,
+// buffer depth, retransmission backoff, NIC depth, crossing efficiency,
+// and relaunch arbiter - reporting latency, drops and power for each
+// setting. It extends the paper's Fig. 10 buffer study to every free
+// parameter.
+//
+// Usage:
+//
+//	sensitivity
+//	sensitivity -benchmark Ocean -messages 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phastlane/internal/figures"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "Barnes", "coherence workload")
+	messages := flag.Int("messages", 6000, "trace length")
+	seed := flag.Int64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	pts, err := figures.Sensitivity(figures.SensitivityOpts{
+		Benchmark: *benchmark, Messages: *messages, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+	table := figures.SensitivityTable(pts, *benchmark)
+	if *csv {
+		fmt.Print(table.CSV())
+		return
+	}
+	fmt.Println(table)
+}

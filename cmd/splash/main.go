@@ -1,0 +1,56 @@
+// Command splash regenerates Figs. 10 and 11: per-benchmark network speedup
+// and network power for the SPLASH2 workload models across every Section 5
+// configuration, plus the paper's headline summary (2X speedup at 80% lower
+// power for the four-hop network).
+//
+// Usage:
+//
+//	splash                          # all ten benchmarks, full traces
+//	splash -benchmarks Ocean,FMM    # a subset
+//	splash -messages 8000           # shorter traces for a quick look
+//	splash -summary                 # headline numbers only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phastlane/internal/figures"
+)
+
+func main() {
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names (default: all ten)")
+	messages := flag.Int("messages", 0, "override trace length per benchmark (0 = full)")
+	seed := flag.Int64("seed", 1, "random seed")
+	summary := flag.Bool("summary", false, "print only the headline numbers")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := figures.SplashOpts{Messages: *messages, Seed: *seed}
+	if *benchmarks != "" {
+		for _, b := range strings.Split(*benchmarks, ",") {
+			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+	rows, err := figures.Splash(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splash:", err)
+		os.Exit(1)
+	}
+	if !*summary {
+		if *csv {
+			fmt.Print(figures.Fig10Table(rows).CSV())
+			fmt.Print(figures.Fig11Table(rows).CSV())
+		} else {
+			fmt.Println(figures.Fig10Table(rows))
+			fmt.Println(figures.Fig11Table(rows))
+		}
+	}
+	for _, cfg := range []string{"Optical4", "Optical5", "Optical8"} {
+		h := figures.Summarise(rows, cfg)
+		fmt.Printf("%-9s geomean network speedup %.2fx, network power %+.0f%% vs Electrical3\n",
+			cfg, h.GeoMeanSpeedup, -h.PowerReduction*100)
+	}
+}

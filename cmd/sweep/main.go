@@ -1,0 +1,57 @@
+// Command sweep regenerates Fig. 9: average packet latency versus injection
+// rate for the bit-complement, bit-reverse, shuffle and transpose patterns
+// on the optical 4/5/8-hop networks and the 2- and 3-cycle electrical
+// baselines.
+//
+// Usage:
+//
+//	sweep                        # all four patterns, default rate grid
+//	sweep -pattern Shuffle       # one pattern
+//	sweep -measure 8000          # longer measurement windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phastlane/internal/figures"
+)
+
+func main() {
+	pattern := flag.String("pattern", "", "restrict to one pattern (BitComp, BitRev, Shuffle, Transpose)")
+	plot := flag.Bool("plot", false, "render ASCII charts instead of tables")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	measure := flag.Int("measure", 4000, "measurement cycles per point")
+	warmup := flag.Int("warmup", 1000, "warmup cycles per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	ratesFlag := flag.String("rates", "", "comma-separated injection rates (default grid if empty)")
+	flag.Parse()
+
+	opts := figures.Fig9Opts{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	if *ratesFlag != "" {
+		for _, f := range strings.Split(*ratesFlag, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: bad rate %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			opts.Rates = append(opts.Rates, r)
+		}
+	}
+	for _, res := range figures.Fig9(opts) {
+		if *pattern != "" && res.Pattern != *pattern {
+			continue
+		}
+		switch {
+		case *plot:
+			fmt.Println(figures.Fig9Plot(res))
+		case *csv:
+			fmt.Print(figures.Fig9Table(res).CSV())
+		default:
+			fmt.Println(figures.Fig9Table(res))
+		}
+	}
+}

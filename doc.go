@@ -1,0 +1,19 @@
+// Package phastlane reproduces "Phastlane: A Rapid Transit Optical Routing
+// Network" (Cianchetti, Kerekes, Albonesi, ISCA 2009): a hybrid
+// electrical/optical network-on-chip whose packets carry predecoded
+// source-routing control bits on dedicated wavelengths, letting unblocked
+// packets transit several routers per 4 GHz clock cycle.
+//
+// The repository contains, under internal/:
+//
+//   - core: the cycle-accurate Phastlane network simulator,
+//   - electrical: the Table 2 virtual-channel baseline (iSLIP, VCTM),
+//   - photonic: the Section 3 device, latency, power and area models,
+//   - coherence: the 64-core snoopy-MSI SPLASH2 workload substrate,
+//   - figures: regeneration of every table and figure in the evaluation,
+//
+// plus runnable tools under cmd/, examples under examples/, and one
+// top-level benchmark per table and figure in bench_test.go. See README.md
+// for a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package phastlane

@@ -1,0 +1,54 @@
+// Coherence: run the 64-core snoopy cache-coherent substrate over a
+// SPLASH2-style workload, generate its network trace, and replay it on the
+// Phastlane network - the full pipeline behind the paper's Fig. 10.
+package main
+
+import (
+	"fmt"
+
+	"phastlane/internal/coherence"
+	"phastlane/internal/core"
+	"phastlane/internal/packet"
+	"phastlane/internal/photonic"
+	"phastlane/internal/sim"
+)
+
+func main() {
+	// Model the Ocean stencil benchmark with a short trace: bursty
+	// sweeps that stress Phastlane's small electrical buffers.
+	params, err := coherence.BenchmarkByName("Ocean")
+	if err != nil {
+		panic(err)
+	}
+	params.Messages = 6000
+	cfg := coherence.DefaultConfig()
+	fmt.Printf("generating %s trace (%s): 64 cores, %dKB L2, MSI over broadcast\n",
+		params.Name, params.DataSet, cfg.L2SizeBytes>>10)
+
+	tr, err := coherence.GenerateTrace(params, cfg, 42)
+	if err != nil {
+		panic(err)
+	}
+	counts := map[packet.Op]int{}
+	for _, m := range tr.Messages {
+		counts[m.Op]++
+	}
+	fmt.Printf("trace: %d messages (%d read-req, %d write-req/upgrades, %d replies, %d writebacks)\n\n",
+		len(tr.Messages), counts[packet.OpReadReq], counts[packet.OpWriteReq],
+		counts[packet.OpDataReply], counts[packet.OpWriteback])
+
+	// Replay on the four-hop Phastlane network with the paper's 10
+	// buffer entries, then with 64 - the buffering sensitivity that
+	// Fig. 10 highlights for Ocean.
+	for _, buffers := range []int{10, 64} {
+		ncfg := core.DefaultConfig()
+		ncfg.BufferEntries = buffers
+		res, err := sim.RunTrace(core.New(ncfg), tr, sim.ReplayConfig{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("Optical4 with %2d buffers: avg latency %6.1f cycles, %6d drops, %.1f W\n",
+			buffers, res.Run.Latency.Mean(), res.Run.Drops,
+			res.Run.PowerW(photonic.DefaultClockGHz))
+	}
+}

@@ -1,0 +1,51 @@
+// Designspace: explore the Section 3 tradeoffs interactively - how the
+// wavelength count, crossing efficiency, and per-cycle hop budget trade
+// latency, peak optical power, and router area against each other, ending
+// at the paper's chosen operating point (64 wavelengths, 4 hops).
+package main
+
+import (
+	"fmt"
+
+	"phastlane/internal/photonic"
+)
+
+func main() {
+	fmt.Println("Phastlane router design space at 16 nm, 4 GHz")
+	fmt.Println()
+
+	// 1. How far can a packet fly in one cycle under each device
+	// scaling assumption?
+	for _, s := range photonic.Scenarios() {
+		d := photonic.Delays16(s)
+		cp := photonic.Paths(s, 64)
+		fmt.Printf("%-12s tx %5.1f ps, rx %3.1f ps, packet-pass %5.1f ps -> %d hops/cycle\n",
+			s, d.TransmitPs, d.ReceivePs, cp.PacketPass,
+			photonic.MaxHopsPerCycle(s, 64, photonic.DefaultClockGHz))
+	}
+	fmt.Println()
+
+	// 2. The wavelength count sets the waveguide count, and with it the
+	// crossing losses and the router footprint.
+	fmt.Println("wdm  waveguides  crossings/router  area(mm2)  peak-W(4hop,98%)")
+	for _, wdm := range []int{32, 64, 128} {
+		fmt.Printf("%3d  %10d  %16d  %9.2f  %16.1f\n",
+			wdm, photonic.TotalWaveguides(wdm), photonic.CrossingsPerRouter(wdm),
+			photonic.AreaAt(wdm).TotalMM2, photonic.PeakOpticalPowerW(wdm, 4, 0.98))
+	}
+	fmt.Println()
+
+	// 3. The hop budget trades reach against laser power.
+	fmt.Println("hops  peak-W(64λ,98%)  peak-W(64λ,99%)")
+	for _, hops := range []int{2, 3, 4, 5, 8} {
+		fmt.Printf("%4d  %15.1f  %15.1f\n", hops,
+			photonic.PeakOpticalPowerW(64, hops, 0.98),
+			photonic.PeakOpticalPowerW(64, hops, 0.99))
+	}
+	fmt.Println()
+
+	sweet := photonic.SweetSpotWDM([]int{16, 32, 64, 128, 256})
+	fmt.Printf("area sweet spot: %d wavelengths (%.2f mm2 vs %.2f mm2 tile)\n",
+		sweet, photonic.AreaAt(sweet).TotalMM2, photonic.TileAreaSingleCoreMM2)
+	fmt.Println("chosen operating point: 64 wavelengths, 4 hops per cycle, 98% crossing efficiency")
+}

@@ -1,0 +1,3 @@
+module phastlane
+
+go 1.22

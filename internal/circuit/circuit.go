@@ -1,0 +1,290 @@
+// Package circuit implements a Columbia-style circuit-switched photonic
+// mesh (Shacham, Bergman, Carloni, NOCS 2007) as a comparison substrate:
+// the switched-optical alternative the paper contrasts Phastlane against.
+//
+// Data moves through a 2D grid of optical waveguides with turn resonators,
+// but the switches are configured by an electrical setup network: a setup
+// flit walks hop by hop toward the destination reserving every optical
+// link; when the path is complete, an acknowledgement returns optically and
+// the source fires the payload end to end at light speed; a teardown then
+// releases the links. The architecture amortises well over long DMA-style
+// transfers, but for single-cache-line packets the electrical setup
+// round-trip dominates and held circuits block each other - exactly the
+// unsuitability for coherence traffic that motivates Phastlane (paper
+// Sections 1 and 6).
+package circuit
+
+import (
+	"fmt"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/photonic"
+	"phastlane/internal/power"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
+)
+
+// Config parameterises the circuit-switched mesh.
+type Config struct {
+	Width, Height int
+	// SetupCyclesPerHop is the electrical setup network's per-hop
+	// latency (a light flit through a small electrical router).
+	SetupCyclesPerHop int
+	// TransferCycles is the optical end-to-end payload time once the
+	// circuit is up (modulate + fly + receive), independent of hops.
+	TransferCycles int
+	// TeardownCycles is the time to release a circuit after transfer.
+	TeardownCycles int
+	// NICEntries is the injection queue capacity per node.
+	NICEntries int
+	Seed       int64
+}
+
+// DefaultConfig matches the paper's 8x8, 4 GHz context: a 1-cycle-per-hop
+// setup network, a 2-cycle optical transfer, 1-cycle teardown.
+func DefaultConfig() Config {
+	return Config{
+		Width: 8, Height: 8,
+		SetupCyclesPerHop: 1,
+		TransferCycles:    2,
+		TeardownCycles:    1,
+		NICEntries:        50,
+		Seed:              1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width < 2 || c.Height < 2 {
+		return fmt.Errorf("circuit: mesh %dx%d too small", c.Width, c.Height)
+	}
+	if c.SetupCyclesPerHop < 1 || c.TransferCycles < 1 || c.TeardownCycles < 0 {
+		return fmt.Errorf("circuit: setup %d / transfer %d / teardown %d",
+			c.SetupCyclesPerHop, c.TransferCycles, c.TeardownCycles)
+	}
+	if c.NICEntries < 1 {
+		return fmt.Errorf("circuit: NIC entries %d", c.NICEntries)
+	}
+	return nil
+}
+
+// circuitState is the setup/transfer FSM of one message.
+type circuitState int
+
+const (
+	setupWalking circuitState = iota // setup flit progressing hop by hop
+	transferring                     // circuit up, payload in flight
+	tearingDown                      // links being released
+)
+
+// flow is one in-progress connection.
+type flow struct {
+	msgID uint64
+	src   mesh.NodeID
+	// dsts holds the remaining destinations (broadcasts are serial
+	// circuits, one per destination).
+	dsts []mesh.NodeID
+	// route is the DOR link list for the current destination; reserved
+	// counts how many links the setup flit has locked so far.
+	route    []mesh.NodeID // nodes visited, inclusive of endpoints
+	dirs     []mesh.Dir
+	reserved int
+	state    circuitState
+	// nextAt is the cycle of the flow's next state-machine action.
+	nextAt int64
+}
+
+// Network is the circuit-switched simulator implementing sim.Network.
+type Network struct {
+	cfg   Config
+	m     *mesh.Mesh
+	run   stats.Run
+	cycle int64
+	// linkOwner[node*4+dir] is the flow holding the optical link, nil
+	// when free.
+	linkOwner []*flow
+	queues    [][]*flow
+	active    []*flow
+	live      int
+}
+
+var _ sim.Network = (*Network)(nil)
+
+// New builds a circuit-switched mesh; it panics on invalid configuration.
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := mesh.New(cfg.Width, cfg.Height)
+	return &Network{
+		cfg:       cfg,
+		m:         m,
+		linkOwner: make([]*flow, m.Nodes()*mesh.NumLinkDirs),
+		queues:    make([][]*flow, m.Nodes()),
+	}
+}
+
+// Nodes implements sim.Network.
+func (n *Network) Nodes() int { return n.m.Nodes() }
+
+// Run implements sim.Network.
+func (n *Network) Run() *stats.Run { return &n.run }
+
+// NICFree implements sim.Network.
+func (n *Network) NICFree(node mesh.NodeID) int {
+	f := n.cfg.NICEntries - len(n.queues[node])
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Quiescent implements sim.Network.
+func (n *Network) Quiescent() bool { return n.live == 0 }
+
+// Inject implements sim.Network. Broadcasts become one flow that opens a
+// circuit to each destination in turn - the architecture has no multicast.
+func (n *Network) Inject(m sim.Message) {
+	if n.NICFree(m.Src) <= 0 {
+		panic(fmt.Sprintf("circuit: inject into full NIC at node %d", m.Src))
+	}
+	n.run.Injected++
+	f := &flow{msgID: m.ID, src: m.Src}
+	switch {
+	case len(m.Dsts) == 0:
+		panic("circuit: message without destinations")
+	case len(m.Dsts) == 1 && m.Dsts[0] == m.Src:
+		panic("circuit: self-directed message")
+	default:
+		f.dsts = append(f.dsts, m.Dsts...)
+	}
+	n.queues[m.Src] = append(n.queues[m.Src], f)
+	n.live++
+}
+
+// linkIndex addresses the directed link out of node toward d.
+func linkIndex(node mesh.NodeID, d mesh.Dir) int {
+	return int(node)*mesh.NumLinkDirs + int(d)
+}
+
+// Step implements sim.Network.
+func (n *Network) Step() []sim.Delivery {
+	var out []sim.Delivery
+
+	// 1. Start a setup for each idle node with a queued flow (one
+	// outstanding circuit per node, as in the original design).
+	for node := range n.queues {
+		if len(n.queues[node]) == 0 {
+			continue
+		}
+		busy := false
+		for _, f := range n.active {
+			if f.src == mesh.NodeID(node) {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		f := n.queues[node][0]
+		n.queues[node] = n.queues[node][1:]
+		n.beginSetup(f)
+		n.active = append(n.active, f)
+	}
+
+	// 2. Advance every active flow's state machine.
+	rest := n.active[:0]
+	for _, f := range n.active {
+		done := n.advance(f, &out)
+		if !done {
+			rest = append(rest, f)
+		}
+	}
+	n.active = rest
+
+	n.run.LeakagePJ += power.LeakagePJ(leakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
+	n.cycle++
+	return out
+}
+
+// beginSetup aims the flow at its next destination.
+func (n *Network) beginSetup(f *flow) {
+	dst := f.dsts[0]
+	f.route = n.m.RouteNodes(f.src, dst)
+	f.dirs = n.m.Route(f.src, dst)
+	f.reserved = 0
+	f.state = setupWalking
+	f.nextAt = n.cycle
+}
+
+// advance runs one cycle of a flow's FSM; it returns true when the flow has
+// served every destination and retires.
+func (n *Network) advance(f *flow, out *[]sim.Delivery) bool {
+	if f.nextAt > n.cycle {
+		return false
+	}
+	switch f.state {
+	case setupWalking:
+		// Try to reserve the next link; a held link stalls the
+		// setup flit in the electrical network (it retries each
+		// cycle).
+		node := f.route[f.reserved]
+		idx := linkIndex(node, f.dirs[f.reserved])
+		if n.linkOwner[idx] != nil {
+			n.run.ElectricalEnergyPJ += setupStallPJ
+			return false
+		}
+		n.linkOwner[idx] = f
+		f.reserved++
+		n.run.ElectricalEnergyPJ += setupHopPJ
+		f.nextAt = n.cycle + int64(n.cfg.SetupCyclesPerHop)
+		if f.reserved == len(f.dirs) {
+			// Path complete: the grant returns optically and
+			// the payload flies.
+			f.state = transferring
+			f.nextAt = n.cycle + int64(n.cfg.TransferCycles)
+		}
+		return false
+	case transferring:
+		dst := f.dsts[0]
+		*out = append(*out, sim.Delivery{MsgID: f.msgID, Dst: dst})
+		n.run.OpticalEnergyPJ += transferPJ
+		n.run.ElectricalEnergyPJ += receivePJ
+		n.run.LinkTraversals += int64(len(f.dirs))
+		f.state = tearingDown
+		f.nextAt = n.cycle + int64(n.cfg.TeardownCycles)
+		return false
+	default: // tearingDown
+		n.release(f)
+		f.dsts = f.dsts[1:]
+		if len(f.dsts) == 0 {
+			n.live--
+			return true
+		}
+		n.beginSetup(f)
+		return false
+	}
+}
+
+// release frees every link the flow holds.
+func (n *Network) release(f *flow) {
+	for i := 0; i < f.reserved; i++ {
+		idx := linkIndex(f.route[i], f.dirs[i])
+		if n.linkOwner[idx] != f {
+			panic("circuit: releasing a link owned by another flow")
+		}
+		n.linkOwner[idx] = nil
+	}
+	f.reserved = 0
+}
+
+// Energy constants: optical transfer is cheap (few crossings per grid
+// path); the electrical setup network pays per-hop flit costs.
+const (
+	setupHopPJ        = 18.0
+	setupStallPJ      = 1.0
+	transferPJ        = 16.0
+	receivePJ         = 5.7
+	leakageWPerRouter = 0.020
+)

@@ -1,0 +1,202 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/sim"
+)
+
+func stepUntilQuiescent(t *testing.T, n *Network, limit int) []sim.Delivery {
+	t.Helper()
+	var all []sim.Delivery
+	for i := 0; i < limit; i++ {
+		all = append(all, n.Step()...)
+		if n.Quiescent() {
+			return all
+		}
+	}
+	t.Fatalf("network not quiescent after %d cycles", limit)
+	return nil
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Width = 1 },
+		func(c *Config) { c.SetupCyclesPerHop = 0 },
+		func(c *Config) { c.TransferCycles = 0 },
+		func(c *Config) { c.TeardownCycles = -1 },
+		func(c *Config) { c.NICEntries = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{9}, Op: packet.OpSynthetic})
+	ds := stepUntilQuiescent(t, n, 50)
+	if len(ds) != 1 || ds[0].Dst != 9 {
+		t.Fatalf("deliveries = %v", ds)
+	}
+}
+
+func TestSetupLatencyDominates(t *testing.T) {
+	// For a distance-d transfer the setup walk alone costs about
+	// d*SetupCyclesPerHop cycles: the single-flit unsuitability the
+	// paper argues. Distance 14 => delivery no earlier than cycle 14.
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{63}, Op: packet.OpSynthetic})
+	for i := 0; i < 50; i++ {
+		if ds := n.Step(); len(ds) > 0 {
+			if i < 14 {
+				t.Fatalf("corner-to-corner delivered at cycle %d, faster than the setup walk", i)
+			}
+			return
+		}
+	}
+	t.Fatal("never delivered")
+}
+
+func TestLinksReleasedAfterTeardown(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{7}, Op: packet.OpSynthetic})
+	stepUntilQuiescent(t, n, 50)
+	for i, f := range n.linkOwner {
+		if f != nil {
+			t.Fatalf("link %d still held after teardown", i)
+		}
+	}
+}
+
+func TestCircuitBlocking(t *testing.T) {
+	// Two flows crossing the same link serialise: the second setup
+	// stalls until the first tears down.
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{7}, Op: packet.OpSynthetic})
+	n.Inject(sim.Message{ID: 2, Src: 1, Dsts: []mesh.NodeID{7}, Op: packet.OpSynthetic})
+	arrival := map[uint64]int{}
+	for i := 0; i < 100 && len(arrival) < 2; i++ {
+		for _, d := range n.Step() {
+			arrival[d.MsgID] = i
+		}
+	}
+	if len(arrival) != 2 {
+		t.Fatal("not all delivered")
+	}
+	if arrival[1] == arrival[2] {
+		t.Error("conflicting circuits completed simultaneously")
+	}
+}
+
+func TestBroadcastIsSerialCircuits(t *testing.T) {
+	n := New(DefaultConfig())
+	var all []mesh.NodeID
+	for i := mesh.NodeID(1); i < 64; i++ {
+		all = append(all, i)
+	}
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: all, Op: packet.OpWriteReq})
+	got := map[mesh.NodeID]int{}
+	ds := stepUntilQuiescent(t, n, 5000)
+	for _, d := range ds {
+		got[d.Dst]++
+	}
+	if len(got) != 63 {
+		t.Fatalf("broadcast reached %d nodes", len(got))
+	}
+	// 63 serial circuits, each at least setup+transfer+teardown: the
+	// completion time must reflect the serialisation.
+	if n.cycle < 63*3 {
+		t.Errorf("broadcast completed at cycle %d, impossibly fast for serial circuits", n.cycle)
+	}
+}
+
+func TestExactOnceUnderLoad(t *testing.T) {
+	n := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	injected := map[uint64]mesh.NodeID{}
+	delivered := map[uint64]int{}
+	var id uint64
+	for cycle := 0; cycle < 400; cycle++ {
+		for node := mesh.NodeID(0); node < 64; node++ {
+			if rng.Float64() < 0.05 && n.NICFree(node) > 0 {
+				dst := mesh.NodeID(rng.Intn(64))
+				if dst == node {
+					continue
+				}
+				id++
+				injected[id] = dst
+				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
+			}
+		}
+		for _, d := range n.Step() {
+			if injected[d.MsgID] != d.Dst {
+				t.Fatalf("msg %d delivered to %d, want %d", d.MsgID, d.Dst, injected[d.MsgID])
+			}
+			delivered[d.MsgID]++
+		}
+	}
+	for i := 0; i < 30000 && !n.Quiescent(); i++ {
+		for _, d := range n.Step() {
+			delivered[d.MsgID]++
+		}
+	}
+	if !n.Quiescent() {
+		t.Fatal("network failed to drain (circuit deadlock?)")
+	}
+	if len(delivered) != len(injected) {
+		t.Fatalf("delivered %d distinct, injected %d", len(delivered), len(injected))
+	}
+	for m, c := range delivered {
+		if c != 1 {
+			t.Fatalf("msg %d delivered %d times", m, c)
+		}
+	}
+}
+
+func TestNICCapacityAndPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NICEntries = 1
+	n := New(cfg)
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
+	if n.NICFree(0) != 0 {
+		t.Error("NICFree should be 0")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("full NIC", func() {
+		n.Inject(sim.Message{ID: 2, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
+	})
+	n2 := New(DefaultConfig())
+	mustPanic("self-directed", func() {
+		n2.Inject(sim.Message{ID: 1, Src: 2, Dsts: []mesh.NodeID{2}, Op: packet.OpSynthetic})
+	})
+	mustPanic("no destinations", func() {
+		n2.Inject(sim.Message{ID: 1, Src: 2, Dsts: nil, Op: packet.OpSynthetic})
+	})
+}
+
+func TestEnergyAccumulates(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{9}, Op: packet.OpSynthetic})
+	stepUntilQuiescent(t, n, 50)
+	if n.Run().OpticalEnergyPJ <= 0 || n.Run().ElectricalEnergyPJ <= 0 || n.Run().LeakagePJ <= 0 {
+		t.Error("energy not accumulating")
+	}
+}

@@ -1,0 +1,480 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/trace"
+)
+
+// globalLine is the system-wide MSI bookkeeping for one L2 line.
+type globalLine struct {
+	owner   int // core holding the line Modified, or -1
+	sharers map[int]bool
+}
+
+// chainState is one outstanding-miss chain (MSHR) of a core: the trace
+// message whose completion gates this chain's next miss.
+type chainState struct {
+	lastDep uint64
+}
+
+// generator runs the coherence protocol over synthetic reference streams
+// and records the resulting network messages.
+type generator struct {
+	cfg Config
+	p   Params
+	rng *rand.Rand
+
+	l1, l2 []*cache
+	global map[uint64]*globalLine
+
+	msgs   []trace.Message
+	chains [][]chainState
+	misses []int // per core, for chain round-robin and burst phase
+
+	privPos, sharedPos []uint64
+}
+
+// GenerateTrace runs workload p over the cache hierarchy cfg and returns
+// the network trace both simulators replay.
+func GenerateTrace(p Params, cfg Config, seed int64) (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg:       cfg,
+		p:         p,
+		rng:       rand.New(rand.NewSource(seed)),
+		l1:        make([]*cache, cfg.Cores),
+		l2:        make([]*cache, cfg.Cores),
+		global:    make(map[uint64]*globalLine),
+		chains:    make([][]chainState, cfg.Cores),
+		misses:    make([]int, cfg.Cores),
+		privPos:   make([]uint64, cfg.Cores),
+		sharedPos: make([]uint64, cfg.Cores),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		g.l1[c] = newCache(cfg.L1SizeBytes, cfg.L1Ways, cfg.L1BlockBytes)
+		g.l2[c] = newCache(cfg.L2SizeBytes, cfg.L2Ways, cfg.L2BlockBytes)
+		g.chains[c] = make([]chainState, p.MLP)
+		g.privPos[c] = uint64(g.rng.Intn(p.PrivateLines))
+		g.sharedPos[c] = uint64(g.rng.Intn(p.SharedLines))
+	}
+	// Warm the hierarchy silently so the emitted trace reflects steady
+	// state - capacity misses, cache-to-cache transfers from Modified
+	// owners, and dirty writebacks - rather than a pure cold-start.
+	warmRefs := 2 * cfg.L2SizeBytes / cfg.L2BlockBytes
+	for c := 0; c < cfg.Cores; c++ {
+		for i := 0; i < warmRefs; i++ {
+			g.warmReference(c)
+		}
+	}
+	// Round-robin the cores; each turn runs references until one
+	// produces network traffic, keeping per-core message interleaving
+	// even.
+	const maxRefsPerTurn = 400
+	stuckTurns := 0
+	for len(g.msgs) < p.Messages && stuckTurns < cfg.Cores*4 {
+		progressed := false
+		for c := 0; c < cfg.Cores && len(g.msgs) < p.Messages; c++ {
+			for ref := 0; ref < maxRefsPerTurn; ref++ {
+				if g.reference(c) {
+					progressed = true
+					break
+				}
+			}
+		}
+		if progressed {
+			stuckTurns = 0
+		} else {
+			stuckTurns++
+		}
+	}
+	if len(g.msgs) == 0 {
+		return nil, fmt.Errorf("coherence: workload %q produced no traffic", p.Name)
+	}
+	tr := &trace.Trace{Nodes: cfg.Cores, Messages: g.msgs}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("coherence: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// lineBase addresses: private regions are disjoint per core; the shared
+// region is common. All addresses are L2-line aligned.
+func (g *generator) privateAddr(core int, line uint64) uint64 {
+	return (uint64(core+1) << 32) | line*uint64(g.cfg.L2BlockBytes)
+}
+
+func (g *generator) sharedAddr(line uint64) uint64 {
+	return (uint64(1) << 48) | line*uint64(g.cfg.L2BlockBytes)
+}
+
+// nextRef synthesises the next reference for a core.
+func (g *generator) nextRef(core int) (addr uint64, write bool) {
+	write = g.rng.Float64() < g.p.WriteFrac
+	if g.rng.Float64() < g.p.SharedFrac {
+		if g.rng.Float64() < g.p.Locality {
+			g.sharedPos[core] = (g.sharedPos[core] + 1) % uint64(g.p.SharedLines)
+		} else {
+			g.sharedPos[core] = uint64(g.rng.Intn(g.p.SharedLines))
+		}
+		return g.sharedAddr(g.sharedPos[core]), write
+	}
+	if g.rng.Float64() < g.p.Locality {
+		g.privPos[core] = (g.privPos[core] + 1) % uint64(g.p.PrivateLines)
+	} else {
+		g.privPos[core] = uint64(g.rng.Intn(g.p.PrivateLines))
+	}
+	return g.privateAddr(core, g.privPos[core]), write
+}
+
+// reference runs one memory reference through the hierarchy; it returns
+// true when network traffic was generated.
+func (g *generator) reference(core int) bool {
+	addr, write := g.nextRef(core)
+	// L1 filters read hits; writes always consult the L2 so upgrade
+	// traffic is preserved.
+	if !write {
+		if g.l1[core].lookup(addr) != nil {
+			return false
+		}
+		g.l1[core].insert(addr, shared)
+	}
+	w := g.l2[core].lookup(addr)
+	switch {
+	case w == nil:
+		g.miss(core, addr, write)
+		return true
+	case write && w.state == shared:
+		g.upgrade(core, addr)
+		return true
+	default:
+		return false // L2 hit in a sufficient state
+	}
+}
+
+// warmReference runs one reference through the hierarchy updating cache and
+// MSI state without emitting trace messages, for cache warmup.
+func (g *generator) warmReference(core int) {
+	addr, write := g.nextRef(core)
+	if !write {
+		if g.l1[core].lookup(addr) != nil {
+			return
+		}
+		g.l1[core].insert(addr, shared)
+	}
+	w := g.l2[core].lookup(addr)
+	gl := g.line(addr)
+	switch {
+	case w == nil:
+		st := shared
+		if write {
+			st = modified
+			g.invalidateOthers(core, addr, gl)
+			gl.owner = core
+			gl.sharers = map[int]bool{core: true}
+		} else {
+			if gl.owner >= 0 && gl.owner != core {
+				g.l2[gl.owner].setState(addr, shared)
+				gl.sharers[gl.owner] = true
+			}
+			gl.owner = -1
+			gl.sharers[core] = true
+		}
+		victimAddr, victimState := g.l2[core].insert(addr, st)
+		if victimState != invalid {
+			vgl := g.line(victimAddr)
+			delete(vgl.sharers, core)
+			if victimState == modified && vgl.owner == core {
+				vgl.owner = -1
+			}
+		}
+	case write && w.state == shared:
+		g.invalidateOthers(core, addr, gl)
+		gl.owner = core
+		gl.sharers = map[int]bool{core: true}
+		g.l2[core].setState(addr, modified)
+	}
+}
+
+// invalidateOthers drops every other core's copy of addr.
+func (g *generator) invalidateOthers(core int, addr uint64, gl *globalLine) {
+	for s := range gl.sharers {
+		if s != core {
+			g.l2[s].invalidate(addr)
+			g.l1[s].invalidate(addr)
+		}
+	}
+	if gl.owner >= 0 && gl.owner != core {
+		g.l2[gl.owner].invalidate(addr)
+		g.l1[gl.owner].invalidate(addr)
+	}
+}
+
+// pacing returns the think time before this core's next miss may inject,
+// following the benchmark's burst structure.
+func (g *generator) pacing(core int) int64 {
+	n := g.misses[core]
+	g.misses[core]++
+	if g.p.BurstLen > 0 {
+		phase := n % (g.p.BurstLen + g.p.BurstGap)
+		if phase < g.p.BurstLen {
+			return int64(g.p.BurstThink)
+		}
+	}
+	return int64(g.p.ThinkMean + g.rng.Intn(g.p.ThinkMean/2+1))
+}
+
+// emit appends a message and returns its ID.
+func (g *generator) emit(m trace.Message) uint64 {
+	m.ID = uint64(len(g.msgs) + 1)
+	g.msgs = append(g.msgs, m)
+	return m.ID
+}
+
+// mcOf returns the memory controller owning a line: the 64 MCs are
+// interleaved on a cache-line basis (paper Section 2).
+func (g *generator) mcOf(addr uint64) int {
+	return int((addr / uint64(g.cfg.L2BlockBytes)) % uint64(g.cfg.Cores))
+}
+
+// line returns the global MSI record for addr.
+func (g *generator) line(addr uint64) *globalLine {
+	gl, ok := g.global[addr]
+	if !ok {
+		gl = &globalLine{owner: -1, sharers: make(map[int]bool)}
+		g.global[addr] = gl
+	}
+	return gl
+}
+
+// dirLatency is the directory lookup time at a home memory controller.
+const dirLatency = 6
+
+// miss handles an L2 miss: request the line (by broadcast under the snoopy
+// protocol, or unicast to the home directory), have the owner or the
+// line's memory controller reply, update MSI state, and write back any
+// dirty victim.
+func (g *generator) miss(core int, addr uint64, write bool) {
+	if g.p.Protocol == DirectoryMSI {
+		g.missDirectory(core, addr, write)
+		return
+	}
+	chain := &g.chains[core][g.misses[core]%g.p.MLP]
+	op := packet.OpReadReq
+	if write {
+		op = packet.OpWriteReq
+	}
+	req := g.emit(trace.Message{
+		Src: mesh.NodeID(core), Dst: trace.Broadcast, Op: op,
+		Dep: chain.lastDep, Think: g.pacing(core),
+		EarliestCycle: g.stagger(chain.lastDep),
+	})
+	completion := req
+	gl := g.line(addr)
+
+	// Data supplier: the Modified owner if any, else the line's MC.
+	supplier, latency := g.mcOf(addr), int64(g.cfg.MemLatency)
+	if gl.owner >= 0 && gl.owner != core {
+		supplier, latency = gl.owner, int64(g.cfg.SnoopLatency)
+	}
+	if supplier != core {
+		completion = g.emit(trace.Message{
+			Src: mesh.NodeID(supplier), Dst: mesh.NodeID(core),
+			Op: packet.OpDataReply, Dep: req, Think: latency,
+		})
+	}
+
+	// Snoop effects and local fill.
+	st := shared
+	if write {
+		st = modified
+		g.invalidateOthers(core, addr, gl)
+		gl.owner = core
+		gl.sharers = map[int]bool{core: true}
+	} else {
+		if gl.owner >= 0 && gl.owner != core {
+			g.l2[gl.owner].setState(addr, shared)
+			gl.sharers[gl.owner] = true
+		}
+		gl.owner = -1
+		gl.sharers[core] = true
+	}
+	victimAddr, victimState := g.l2[core].insert(addr, st)
+	g.evict(core, victimAddr, victimState, completion)
+	chain.lastDep = completion
+}
+
+// missDirectory is the DirectoryMSI miss flow: unicast request to the home
+// MC; the directory forwards to the Modified owner or replies itself, and
+// sends targeted invalidations on writes. No broadcasts.
+func (g *generator) missDirectory(core int, addr uint64, write bool) {
+	chain := &g.chains[core][g.misses[core]%g.p.MLP]
+	home := g.mcOf(addr)
+	gl := g.line(addr)
+	think := g.pacing(core)
+	op := packet.OpReadReq
+	if write {
+		op = packet.OpWriteReq
+	}
+
+	// Request to the home directory (silent when home is local).
+	reqDep := chain.lastDep
+	req := reqDep
+	if home != core {
+		req = g.emit(trace.Message{
+			Src: mesh.NodeID(core), Dst: mesh.NodeID(home), Op: op,
+			Dep: reqDep, Think: think,
+			EarliestCycle: g.stagger(reqDep),
+		})
+	}
+
+	// Targeted invalidations on writes.
+	if write {
+		for s := range gl.sharers {
+			if s != core && s != home {
+				g.emit(trace.Message{
+					Src: mesh.NodeID(home), Dst: mesh.NodeID(s),
+					Op: packet.OpWriteReq, Dep: req, Think: dirLatency,
+				})
+			}
+		}
+	}
+
+	// Data supply: forward to the owner for a cache-to-cache transfer,
+	// or reply from memory at the home node.
+	completion := req
+	if gl.owner >= 0 && gl.owner != core {
+		fwd := req
+		if gl.owner != home {
+			fwd = g.emit(trace.Message{
+				Src: mesh.NodeID(home), Dst: mesh.NodeID(gl.owner),
+				Op: op, Dep: req, Think: dirLatency,
+			})
+		}
+		completion = g.emit(trace.Message{
+			Src: mesh.NodeID(gl.owner), Dst: mesh.NodeID(core),
+			Op: packet.OpDataReply, Dep: fwd, Think: int64(g.cfg.SnoopLatency),
+		})
+	} else if home != core {
+		completion = g.emit(trace.Message{
+			Src: mesh.NodeID(home), Dst: mesh.NodeID(core),
+			Op: packet.OpDataReply, Dep: req, Think: int64(dirLatency + g.cfg.MemLatency),
+		})
+	}
+
+	// State updates mirror the snoopy path.
+	st := shared
+	if write {
+		st = modified
+		g.invalidateOthers(core, addr, gl)
+		gl.owner = core
+		gl.sharers = map[int]bool{core: true}
+	} else {
+		if gl.owner >= 0 && gl.owner != core {
+			g.l2[gl.owner].setState(addr, shared)
+			gl.sharers[gl.owner] = true
+		}
+		gl.owner = -1
+		gl.sharers[core] = true
+	}
+	victimAddr, victimState := g.l2[core].insert(addr, st)
+	g.evict(core, victimAddr, victimState, completion)
+	chain.lastDep = completion
+}
+
+// upgrade handles a write hit on a Shared line: broadcast the invalidation
+// (snoopy) or send targeted invalidations via the home directory, and take
+// ownership.
+func (g *generator) upgrade(core int, addr uint64) {
+	if g.p.Protocol == DirectoryMSI {
+		g.upgradeDirectory(core, addr)
+		return
+	}
+	chain := &g.chains[core][g.misses[core]%g.p.MLP]
+	req := g.emit(trace.Message{
+		Src: mesh.NodeID(core), Dst: trace.Broadcast, Op: packet.OpWriteReq,
+		Dep: chain.lastDep, Think: g.pacing(core),
+		EarliestCycle: g.stagger(chain.lastDep),
+	})
+	gl := g.line(addr)
+	g.invalidateOthers(core, addr, gl)
+	gl.owner = core
+	gl.sharers = map[int]bool{core: true}
+	g.l2[core].setState(addr, modified)
+	chain.lastDep = req
+}
+
+// upgradeDirectory is the DirectoryMSI upgrade flow: request ownership at
+// the home MC, which invalidates the other sharers and acknowledges.
+func (g *generator) upgradeDirectory(core int, addr uint64) {
+	chain := &g.chains[core][g.misses[core]%g.p.MLP]
+	home := g.mcOf(addr)
+	gl := g.line(addr)
+	think := g.pacing(core)
+
+	req := chain.lastDep
+	if home != core {
+		req = g.emit(trace.Message{
+			Src: mesh.NodeID(core), Dst: mesh.NodeID(home),
+			Op: packet.OpWriteReq, Dep: chain.lastDep, Think: think,
+			EarliestCycle: g.stagger(chain.lastDep),
+		})
+	}
+	for s := range gl.sharers {
+		if s != core && s != home {
+			g.emit(trace.Message{
+				Src: mesh.NodeID(home), Dst: mesh.NodeID(s),
+				Op: packet.OpWriteReq, Dep: req, Think: dirLatency,
+			})
+		}
+	}
+	completion := req
+	if home != core {
+		completion = g.emit(trace.Message{
+			Src: mesh.NodeID(home), Dst: mesh.NodeID(core),
+			Op: packet.OpAck, Dep: req, Think: dirLatency,
+		})
+	}
+	g.invalidateOthers(core, addr, gl)
+	gl.owner = core
+	gl.sharers = map[int]bool{core: true}
+	g.l2[core].setState(addr, modified)
+	chain.lastDep = completion
+}
+
+// evict emits the writeback for a dirty victim and updates global state.
+func (g *generator) evict(core int, victimAddr uint64, victimState lineState, dep uint64) {
+	if victimState == invalid {
+		return
+	}
+	gl := g.line(victimAddr)
+	delete(gl.sharers, core)
+	if victimState == modified {
+		if gl.owner == core {
+			gl.owner = -1
+		}
+		if mc := g.mcOf(victimAddr); mc != core {
+			g.emit(trace.Message{
+				Src: mesh.NodeID(core), Dst: mesh.NodeID(mc),
+				Op: packet.OpWriteback, Dep: dep, Think: 1,
+			})
+		}
+	}
+}
+
+// stagger spreads dependency-free first misses over the first cycles so
+// cold-start injection is not perfectly synchronised.
+func (g *generator) stagger(dep uint64) int64 {
+	if dep != 0 {
+		return 0
+	}
+	return int64(g.rng.Intn(24))
+}

@@ -1,0 +1,192 @@
+package coherence
+
+import "fmt"
+
+// Protocol selects the coherence protocol the trace generator models.
+type Protocol int
+
+// Protocols. Snoopy is the paper's model: every L2 miss and upgrade
+// broadcasts to all nodes. DirectoryMSI is a beyond-the-paper alternative:
+// requests go unicast to the line's home memory controller, which forwards
+// to the owner or replies itself and sends targeted invalidations - no
+// broadcasts at all, removing the traffic pattern Phastlane's multicast
+// sweeps accelerate.
+const (
+	Snoopy Protocol = iota
+	DirectoryMSI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Snoopy:
+		return "snoopy"
+	case DirectoryMSI:
+		return "directory"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Params characterises one SPLASH2 benchmark's memory behaviour as seen by
+// the network: working-set sizes, sharing, write mix, locality,
+// memory-level parallelism and burstiness. The ten parameter sets below
+// model the Table 3 benchmarks; the values are chosen so each benchmark's
+// network-level signature (injection intensity, multicast fraction,
+// burstiness) matches its qualitative description in the SPLASH2
+// literature and reproduces the paper's Fig. 10 sensitivities - in
+// particular Ocean's and FMM's heavy transient bursts, which overwhelm
+// small Phastlane buffers and cause drop storms.
+type Params struct {
+	// Name and DataSet mirror Table 3.
+	Name    string
+	DataSet string
+	// PrivateLines and SharedLines size the per-core private region
+	// and the global shared region, in L2 lines.
+	PrivateLines, SharedLines int
+	// SharedFrac is the probability a reference targets the shared
+	// region; WriteFrac the probability it is a store.
+	SharedFrac, WriteFrac float64
+	// Locality is the probability the next reference continues
+	// sequentially instead of jumping randomly.
+	Locality float64
+	// MLP is the number of independent outstanding-miss chains per
+	// core (MSHRs the out-of-order core keeps busy).
+	MLP int
+	// ThinkMean is the mean compute time between misses of one chain;
+	// within a burst it drops to BurstThink for BurstLen misses.
+	ThinkMean, BurstThink int
+	// BurstLen is the number of consecutive low-think misses in a
+	// burst; BurstGap the number of misses between bursts. BurstLen 0
+	// disables bursts.
+	BurstLen, BurstGap int
+	// Messages is the approximate trace length to generate.
+	Messages int
+	// Protocol selects snoopy (paper, default) or directory coherence.
+	Protocol Protocol
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Name == "" || p.PrivateLines < 1 || p.SharedLines < 1 {
+		return fmt.Errorf("coherence: bad regions in %q", p.Name)
+	}
+	if p.SharedFrac < 0 || p.SharedFrac > 1 || p.WriteFrac < 0 || p.WriteFrac > 1 ||
+		p.Locality < 0 || p.Locality > 1 {
+		return fmt.Errorf("coherence: bad fractions in %q", p.Name)
+	}
+	if p.MLP < 1 || p.ThinkMean < 0 || p.BurstThink < 0 || p.BurstLen < 0 || p.BurstGap < 0 {
+		return fmt.Errorf("coherence: bad pacing in %q", p.Name)
+	}
+	if p.Messages < 1 {
+		return fmt.Errorf("coherence: no messages in %q", p.Name)
+	}
+	return nil
+}
+
+// Benchmarks returns the ten SPLASH2 workload models in Table 3 order.
+func Benchmarks() []Params {
+	return []Params{
+		{
+			// N-body octree walk: pointer-chasing with moderate
+			// sharing and force-exchange bursts; buffer-sensitive
+			// in Fig. 10.
+			Name: "Barnes", DataSet: "64K particles",
+			PrivateLines: 12288, SharedLines: 3072,
+			SharedFrac: 0.50, WriteFrac: 0.30, Locality: 0.55,
+			MLP: 2, ThinkMean: 20, BurstThink: 0, BurstLen: 24, BurstGap: 36,
+			Messages: 24000,
+		},
+		{
+			// Sparse factorisation: irregular supernode updates,
+			// mild bursts.
+			Name: "Cholesky", DataSet: "tk29.O",
+			PrivateLines: 10240, SharedLines: 3072,
+			SharedFrac: 0.45, WriteFrac: 0.30, Locality: 0.50,
+			MLP: 2, ThinkMean: 20, BurstThink: 1, BurstLen: 16, BurstGap: 48,
+			Messages: 24000,
+		},
+		{
+			// All-to-all transpose phases, parallel misses, strong
+			// spatial locality, heavy cache-to-cache transfers.
+			Name: "FFT", DataSet: "4M points",
+			PrivateLines: 16384, SharedLines: 3072,
+			SharedFrac: 0.60, WriteFrac: 0.35, Locality: 0.80,
+			MLP: 2, ThinkMean: 22, BurstThink: 1, BurstLen: 12, BurstGap: 36,
+			Messages: 26000,
+		},
+		{
+			// Blocked dense LU: streaming blocks with pivot-row
+			// sharing; the network latency is on the critical path
+			// nearly every miss.
+			Name: "LU", DataSet: "2048x2048 matrix",
+			PrivateLines: 12288, SharedLines: 2048,
+			SharedFrac: 0.65, WriteFrac: 0.35, Locality: 0.85,
+			MLP: 2, ThinkMean: 24, BurstThink: 2, BurstLen: 10, BurstGap: 30,
+			Messages: 26000,
+		},
+		{
+			// Stencil sweeps over a huge grid: long, dense miss
+			// bursts every sweep - the paper's most buffer-hungry
+			// workload.
+			Name: "Ocean", DataSet: "2050x2050 grid",
+			PrivateLines: 32768, SharedLines: 8192,
+			SharedFrac: 0.45, WriteFrac: 0.40, Locality: 0.75,
+			MLP: 5, ThinkMean: 14, BurstThink: 0, BurstLen: 80, BurstGap: 20,
+			Messages: 28000,
+		},
+		{
+			// Permutation writes: poor locality, write-heavy,
+			// large footprint.
+			Name: "Radix", DataSet: "64M integers",
+			PrivateLines: 24576, SharedLines: 4096,
+			SharedFrac: 0.50, WriteFrac: 0.60, Locality: 0.25,
+			MLP: 2, ThinkMean: 24, BurstThink: 1, BurstLen: 14, BurstGap: 36,
+			Messages: 26000,
+		},
+		{
+			// Read-mostly irregular scene traversal.
+			Name: "Raytrace", DataSet: "balls4",
+			PrivateLines: 10240, SharedLines: 4096,
+			SharedFrac: 0.55, WriteFrac: 0.12, Locality: 0.45,
+			MLP: 1, ThinkMean: 10, BurstThink: 1, BurstLen: 12, BurstGap: 30,
+			Messages: 24000,
+		},
+		{
+			// Small working set, high compute-to-miss ratio.
+			Name: "Water-NSquared", DataSet: "512 molecules",
+			PrivateLines: 6144, SharedLines: 2048,
+			SharedFrac: 0.45, WriteFrac: 0.25, Locality: 0.60,
+			MLP: 1, ThinkMean: 16, BurstThink: 2, BurstLen: 8, BurstGap: 40,
+			Messages: 20000,
+		},
+		{
+			// Spatial-decomposition variant: less sharing, similar
+			// pace.
+			Name: "Water-Spatial", DataSet: "512 molecules",
+			PrivateLines: 6144, SharedLines: 1536,
+			SharedFrac: 0.35, WriteFrac: 0.25, Locality: 0.65,
+			MLP: 1, ThinkMean: 16, BurstThink: 2, BurstLen: 8, BurstGap: 40,
+			Messages: 20000,
+		},
+		{
+			// Adaptive fast multipole: deep tree-phase bursts; the
+			// other buffer-sensitive workload of Fig. 10.
+			Name: "FMM", DataSet: "512K particles",
+			PrivateLines: 20480, SharedLines: 6144,
+			SharedFrac: 0.50, WriteFrac: 0.30, Locality: 0.55,
+			MLP: 4, ThinkMean: 12, BurstThink: 0, BurstLen: 64, BurstGap: 24,
+			Messages: 26000,
+		},
+	}
+}
+
+// BenchmarkByName returns the named workload model.
+func BenchmarkByName(name string) (Params, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("coherence: unknown benchmark %q", name)
+}

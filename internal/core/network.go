@@ -1,0 +1,502 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/photonic"
+	"phastlane/internal/power"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
+)
+
+// parcel is one physical Phastlane packet: a unicast message or one
+// multicast column-sweep of a broadcast. It lives in exactly one electrical
+// buffer (or the NIC) between transmission attempts.
+type parcel struct {
+	msgID uint64
+	op    packet.Op
+	src   mesh.NodeID
+	dst   mesh.NodeID // final destination (sweep end for multicast)
+	// owner is the node currently responsible for delivery: the
+	// original source, or the last router that buffered the parcel.
+	owner mesh.NodeID
+	// control and launch describe the remaining route from owner.
+	control packet.Control
+	launch  mesh.Dir
+	// remaining lists the multicast destinations not yet served, in
+	// sweep order. Nil for unicast parcels.
+	remaining []mesh.NodeID
+	multicast bool
+	retries   int
+	// eligibleAt gates relaunch (buffer turnaround, drop backoff);
+	// enqueuedAt records when the parcel entered its current queue
+	// (for the oldest-first arbiter).
+	eligibleAt, enqueuedAt int64
+}
+
+// outcome of one transmission attempt, resolved within the launch cycle and
+// acted on at the start of the next (the drop-signal window).
+type outcome int
+
+const (
+	outcomePending  outcome = iota
+	outcomeSafe             // delivered, or buffered downstream
+	outcomeDropped          // drop signal returns to the owner
+	outcomeComplete         // dropped, but no deliveries remained
+)
+
+// launchRecord remembers a transmission so the owner's buffer slot can be
+// released (or the parcel requeued) one cycle later.
+type launchRecord struct {
+	p       *parcel
+	q       *pqueue
+	control packet.Control // pre-launch control, restored on drop
+	launch  mesh.Dir
+	result  outcome
+}
+
+// pqueue is one electrical buffer: a FIFO with a capacity that also counts
+// slots reserved by in-flight launches awaiting their drop window.
+type pqueue struct {
+	items    []*parcel
+	reserved int
+	cap      int // negative = unbounded
+}
+
+func (q *pqueue) occupancy() int { return len(q.items) + q.reserved }
+
+func (q *pqueue) free() int {
+	if q.cap < 0 {
+		return 1 << 30
+	}
+	f := q.cap - q.occupancy()
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// headEligible returns the first launchable parcel, or nil.
+func (q *pqueue) headEligible(cycle int64) *parcel {
+	for _, p := range q.items {
+		if p.eligibleAt <= cycle {
+			return p
+		}
+	}
+	return nil
+}
+
+// take removes p from the queue and reserves its slot for the drop window.
+func (q *pqueue) take(p *parcel) {
+	for i, it := range q.items {
+		if it == p {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			q.reserved++
+			return
+		}
+	}
+	panic("core: take of parcel not in queue")
+}
+
+// router holds the five electrical buffers (N, E, S, W input ports plus the
+// local NIC) and the rotating-priority launch pointer.
+type router struct {
+	queues [mesh.NumDirs]pqueue
+	rotate int
+}
+
+// Network is the Phastlane simulator. Create with New; drive with Inject
+// and Step (the sim.Network interface).
+type Network struct {
+	cfg    Config
+	m      *mesh.Mesh
+	energy power.Optical
+	rng    *rand.Rand
+
+	routers []router
+	// claims[node*4+dir] holds the cycle in which the directed link
+	// out of node toward dir was last used; a link carries one packet
+	// per cycle.
+	claims []int64
+	// pending holds launches awaiting their drop window.
+	pending []launchRecord
+	// live counts parcels anywhere in the system.
+	live int
+	// tracer receives router events when set (SetTracer).
+	tracer func(Event)
+
+	run   stats.Run
+	cycle int64
+}
+
+var _ sim.Network = (*Network)(nil)
+
+// New builds a Phastlane network. It panics on invalid configuration (a
+// programming error, not a runtime condition).
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := mesh.New(cfg.Width, cfg.Height)
+	n := &Network{
+		cfg:     cfg,
+		m:       m,
+		energy:  cfg.energyModel(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		routers: make([]router, m.Nodes()),
+		claims:  make([]int64, m.Nodes()*mesh.NumLinkDirs),
+	}
+	for i := range n.claims {
+		n.claims[i] = -1
+	}
+	for i := range n.routers {
+		for d := 0; d < mesh.NumDirs; d++ {
+			n.routers[i].queues[d].cap = cfg.BufferEntries
+		}
+		n.routers[i].queues[mesh.Local].cap = cfg.NICEntries
+	}
+	return n
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes implements sim.Network.
+func (n *Network) Nodes() int { return n.m.Nodes() }
+
+// Run implements sim.Network.
+func (n *Network) Run() *stats.Run { return &n.run }
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// NICFree implements sim.Network.
+func (n *Network) NICFree(node mesh.NodeID) int {
+	return n.routers[node].queues[mesh.Local].free()
+}
+
+// Quiescent implements sim.Network.
+func (n *Network) Quiescent() bool { return n.live == 0 }
+
+// Inject implements sim.Network. A single-destination message becomes one
+// unicast parcel; a broadcast (every node except the source) becomes up to
+// 16 multicast column-sweep parcels assembled by the NIC, which together
+// are charged against the injection queue. It panics when the NIC is full
+// or the destination set is neither unicast nor full broadcast.
+func (n *Network) Inject(m sim.Message) {
+	nic := &n.routers[m.Src].queues[mesh.Local]
+	if nic.free() <= 0 {
+		panic(fmt.Sprintf("core: inject into full NIC at node %d", m.Src))
+	}
+	n.run.Injected++
+	switch {
+	case len(m.Dsts) == 1:
+		if m.Dsts[0] == m.Src {
+			panic("core: self-directed message")
+		}
+		ctl, launch := packet.BuildControl(n.m, m.Src, m.Dsts[0])
+		ctl.MarkInterims(n.cfg.MaxHops)
+		nic.items = append(nic.items, &parcel{
+			msgID: m.ID, op: m.Op, src: m.Src, dst: m.Dsts[0],
+			owner: m.Src, control: ctl, launch: launch,
+			eligibleAt: n.cycle, enqueuedAt: n.cycle,
+		})
+		n.live++
+	case len(m.Dsts) == n.m.Nodes()-1:
+		if n.cfg.UnicastBroadcast {
+			// Ablation: a broadcast as 63 independent unicasts.
+			for _, dst := range m.Dsts {
+				ctl, launch := packet.BuildControl(n.m, m.Src, dst)
+				ctl.MarkInterims(n.cfg.MaxHops)
+				nic.items = append(nic.items, &parcel{
+					msgID: m.ID, op: m.Op, src: m.Src, dst: dst,
+					owner: m.Src, control: ctl, launch: launch,
+					eligibleAt: n.cycle, enqueuedAt: n.cycle,
+				})
+				n.live++
+			}
+			return
+		}
+		for _, msg := range packet.BuildBroadcast(n.m, m.Src, n.cfg.MaxHops) {
+			remaining := append([]mesh.NodeID(nil), msg.Delivers...)
+			nic.items = append(nic.items, &parcel{
+				msgID: m.ID, op: m.Op, src: m.Src,
+				dst:   remaining[len(remaining)-1],
+				owner: m.Src, control: msg.Control, launch: msg.Launch,
+				remaining: remaining, multicast: true,
+				eligibleAt: n.cycle, enqueuedAt: n.cycle,
+			})
+			n.live++
+		}
+	default:
+		panic(fmt.Sprintf("core: message with %d destinations: only unicast or full broadcast supported", len(m.Dsts)))
+	}
+}
+
+// Step implements sim.Network: resolve last cycle's drop window, launch new
+// transmissions under rotating/fixed priority, walk them through the mesh,
+// and account leakage.
+func (n *Network) Step() []sim.Delivery {
+	n.resolveDropWindow()
+	flights := n.launch()
+	deliveries := n.walk(flights)
+	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
+	n.cycle++
+	return deliveries
+}
+
+// resolveDropWindow acts on the previous cycle's launches: safe launches
+// release their buffer slot; dropped parcels re-enter the owner's queue
+// with randomised exponential backoff.
+func (n *Network) resolveDropWindow() {
+	for _, rec := range n.pending {
+		switch rec.result {
+		case outcomeSafe, outcomeComplete:
+			rec.q.reserved--
+		case outcomeDropped:
+			rec.q.reserved--
+			p := rec.p
+			p.retries++
+			n.run.Retries++
+			if !n.cfg.Bypass {
+				// Restore the pre-launch route; with bypass
+				// the relaunch rebuilds it anyway.
+				p.control = rec.control
+				p.launch = rec.launch
+			}
+			p.eligibleAt = n.cycle + 1 + n.backoff(p.retries)
+			rec.q.items = append(rec.q.items, p)
+			n.emit(EventRetry, p.msgID, p.owner, p.launch)
+		default:
+			panic("core: unresolved launch outcome")
+		}
+	}
+	n.pending = n.pending[:0]
+}
+
+// backoff returns a randomised exponential delay for the given retry count.
+func (n *Network) backoff(retries int) int64 {
+	window := n.cfg.BackoffBase
+	for i := 1; i < retries && window < n.cfg.BackoffMax; i++ {
+		window *= 2
+	}
+	if window > n.cfg.BackoffMax {
+		window = n.cfg.BackoffMax
+	}
+	return int64(n.rng.Intn(window + 1))
+}
+
+// launch runs each router's rotating-priority arbitration over its five
+// queues: up to four packets per cycle, one per output port (Section
+// 2.1.1). The arbiter rotates across the queues, taking at most one grant
+// per queue per round, and keeps cycling while ports and candidates remain,
+// so a single busy queue (e.g. a NIC holding a 16-sweep broadcast) can use
+// several output ports in one cycle without starving the others.
+func (n *Network) launch() []*flight {
+	var flights []*flight
+	for node := range n.routers {
+		r := &n.routers[node]
+		var granted [mesh.NumLinkDirs]bool
+		grants := 0
+		skip := make(map[*parcel]bool)
+		order := n.queueOrder(r)
+		for round := 0; round < mesh.NumLinkDirs && grants < mesh.NumLinkDirs; round++ {
+			progressed := false
+			for k := 0; k < mesh.NumDirs && grants < mesh.NumLinkDirs; k++ {
+				q := &r.queues[order[k]]
+				p := n.launchCandidate(q, skip, granted[:])
+				if p == nil {
+					continue
+				}
+				granted[p.launch] = true
+				grants++
+				progressed = true
+				q.take(p)
+				rec := launchRecord{p: p, q: q, control: p.control, launch: p.launch, result: outcomePending}
+				n.pending = append(n.pending, rec)
+				f := &flight{
+					p: p, rec: len(n.pending) - 1,
+					at: mesh.NodeID(node), travel: p.launch,
+					control: p.control,
+				}
+				n.claim(mesh.NodeID(node), p.launch)
+				flights = append(flights, f)
+				n.emit(EventLaunch, p.msgID, mesh.NodeID(node), p.launch)
+				// Energy: laser power for the actual segment
+				// (links and taps covered this cycle) plus
+				// modulator drive and a buffer read for the
+				// launching queue.
+				n.run.OpticalEnergyPJ += n.energy.TransmitSegmentPJ(segmentOf(&p.control))
+				n.run.ElectricalEnergyPJ += n.energy.ModulatePJ + n.energy.BufferReadPJ
+			}
+			if !progressed {
+				break
+			}
+		}
+		r.rotate = (r.rotate + 1) % mesh.NumDirs
+	}
+	return flights
+}
+
+// queueOrder returns the order in which a router's five queues are offered
+// grants this cycle, per the configured relaunch arbiter.
+func (n *Network) queueOrder(r *router) [mesh.NumDirs]int {
+	var order [mesh.NumDirs]int
+	switch n.cfg.Arbiter {
+	case ArbOldestFirst:
+		// Queues whose oldest eligible parcel has waited longest go
+		// first; empty queues last.
+		type qAge struct {
+			idx int
+			age int64
+		}
+		ages := make([]qAge, 0, mesh.NumDirs)
+		for i := 0; i < mesh.NumDirs; i++ {
+			age := int64(-1 << 62)
+			if p := r.queues[i].headEligible(n.cycle); p != nil {
+				age = n.cycle - p.enqueuedAt
+			}
+			ages = append(ages, qAge{idx: i, age: age})
+		}
+		sort.SliceStable(ages, func(a, b int) bool { return ages[a].age > ages[b].age })
+		for i, qa := range ages {
+			order[i] = qa.idx
+		}
+	case ArbLongestQueue:
+		type qLen struct{ idx, occ int }
+		occ := make([]qLen, 0, mesh.NumDirs)
+		for i := 0; i < mesh.NumDirs; i++ {
+			occ = append(occ, qLen{idx: i, occ: len(r.queues[i].items)})
+		}
+		sort.SliceStable(occ, func(a, b int) bool { return occ[a].occ > occ[b].occ })
+		for i, ql := range occ {
+			order[i] = ql.idx
+		}
+	default: // ArbRotating
+		for i := 0; i < mesh.NumDirs; i++ {
+			order[i] = (r.rotate + i) % mesh.NumDirs
+		}
+	}
+	return order
+}
+
+// launchCandidate returns the first eligible parcel of q whose output port
+// is still free, or nil. Parcels whose port is taken are remembered in skip
+// so later rounds do not re-resegment them.
+func (n *Network) launchCandidate(q *pqueue, skip map[*parcel]bool, granted []bool) *parcel {
+	for _, p := range q.items {
+		if p.eligibleAt > n.cycle || skip[p] {
+			continue
+		}
+		if n.cfg.Bypass {
+			n.resegment(p)
+		}
+		if p.launch == mesh.Local {
+			panic("core: parcel launches toward its own node")
+		}
+		if granted[p.launch] {
+			skip[p] = true
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
+// resegment rebuilds the parcel's remaining route from its current owner,
+// implementing the Section 2.1.3 bypass: a buffering router may skip the
+// original interim nodes and head as far as MaxHops allows.
+func (n *Network) resegment(p *parcel) {
+	if p.multicast {
+		ctl, launch := buildSweepFrom(n.m, p.owner, p.remaining, n.cfg.MaxHops)
+		p.control, p.launch = ctl, launch
+		return
+	}
+	ctl, launch := packet.BuildControl(n.m, p.owner, p.dst)
+	ctl.MarkInterims(n.cfg.MaxHops)
+	p.control, p.launch = ctl, launch
+}
+
+// buildSweepFrom reconstructs a multicast sweep control from node src
+// through the remaining delivery targets (which, by construction, lie in
+// one column in sweep order, approached dimension-order).
+func buildSweepFrom(m *mesh.Mesh, src mesh.NodeID, remaining []mesh.NodeID, maxHops int) (packet.Control, mesh.Dir) {
+	if len(remaining) == 0 {
+		panic("core: multicast relaunch with no remaining destinations")
+	}
+	if remaining[0] == src {
+		panic("core: multicast relaunch targeting the owner itself")
+	}
+	dirs := m.Route(src, remaining[0])
+	cur := remaining[0]
+	for _, next := range remaining[1:] {
+		seg := m.Route(cur, next)
+		if len(seg) != 1 {
+			panic(fmt.Sprintf("core: non-contiguous multicast remainder %d->%d", cur, next))
+		}
+		dirs = append(dirs, seg...)
+		cur = next
+	}
+	deliver := make(map[mesh.NodeID]bool, len(remaining))
+	for _, d := range remaining {
+		deliver[d] = true
+	}
+	// Truncate over-long reconstructions at an interim stop, as
+	// packet.BuildControl does; the interim rebuilds the rest.
+	var contDir mesh.Dir
+	truncated := false
+	if len(dirs) > packet.MaxGroups {
+		contDir = dirs[packet.MaxGroups]
+		dirs = dirs[:packet.MaxGroups]
+		truncated = true
+	}
+	var ctl packet.Control
+	at := src
+	for i, d := range dirs {
+		next, ok := m.Neighbor(at, d)
+		if !ok {
+			panic("core: multicast resegment walks off mesh")
+		}
+		at = next
+		out := mesh.Local
+		if i+1 < len(dirs) {
+			out = dirs[i+1]
+		}
+		ctl.Groups[i] = packet.GroupForStep(d, out, deliver[at])
+		ctl.Used = i + 1
+	}
+	if truncated {
+		last := &ctl.Groups[ctl.Used-1]
+		last.Local = true
+		g := packet.GroupForStep(dirs[len(dirs)-1], contDir, false)
+		last.Straight, last.Left, last.Right = g.Straight, g.Left, g.Right
+	}
+	ctl.MarkInterims(maxHops)
+	return ctl, dirs[0]
+}
+
+// segmentOf returns the link count and intermediate multicast-tap count of
+// the control's next single-cycle segment, for transmit-energy accounting.
+func segmentOf(c *packet.Control) (links, taps int) {
+	links = c.NextStop()
+	for i := 0; i < links-1; i++ {
+		if c.Groups[i].Multicast {
+			taps++
+		}
+	}
+	return links, taps
+}
+
+// claim marks the directed link out of node toward d used this cycle.
+func (n *Network) claim(node mesh.NodeID, d mesh.Dir) {
+	n.claims[int(node)*mesh.NumLinkDirs+int(d)] = n.cycle
+}
+
+// claimed reports whether the link is already used this cycle.
+func (n *Network) claimed(node mesh.NodeID, d mesh.Dir) bool {
+	return n.claims[int(node)*mesh.NumLinkDirs+int(d)] == n.cycle
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"phastlane/internal/mesh"
+)
+
+// EventKind classifies a router-level event for tracing.
+type EventKind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// EventLaunch: a packet leaves a buffer (or the NIC) onto its first
+	// link of the cycle.
+	EventLaunch EventKind = iota
+	// EventPass: the packet transits a router toward another output.
+	EventPass
+	// EventTap: a multicast tap delivers a copy to the local node while
+	// the packet continues.
+	EventTap
+	// EventEject: the packet leaves the network at its destination.
+	EventEject
+	// EventBuffer: the packet is captured into an input-port buffer
+	// (blocked, or an interim stop).
+	EventBuffer
+	// EventDrop: the buffer was full; the drop signal returns to the
+	// responsible sender.
+	EventDrop
+	// EventRetry: the dropped packet re-enters its owner's queue after
+	// backoff.
+	EventRetry
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventLaunch:
+		return "launch"
+	case EventPass:
+		return "pass"
+	case EventTap:
+		return "tap"
+	case EventEject:
+		return "eject"
+	case EventBuffer:
+		return "buffer"
+	case EventDrop:
+		return "drop"
+	case EventRetry:
+		return "retry"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one traced router action.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	MsgID uint64
+	// Node is where the event happened; Dir its outgoing direction
+	// (meaningful for launch/pass).
+	Node mesh.NodeID
+	Dir  mesh.Dir
+}
+
+// String renders the event compactly, e.g. "c12 launch msg3 @27->N".
+func (e Event) String() string {
+	return fmt.Sprintf("c%d %s msg%d @%d->%s", e.Cycle, e.Kind, e.MsgID, e.Node, e.Dir)
+}
+
+// SetTracer installs a callback invoked synchronously for every router
+// event; nil disables tracing (the default — tracing costs nothing when
+// off). Intended for debugging and for tests that assert event sequences.
+func (n *Network) SetTracer(f func(Event)) { n.tracer = f }
+
+// emit reports an event to the tracer, if any.
+func (n *Network) emit(kind EventKind, msgID uint64, node mesh.NodeID, dir mesh.Dir) {
+	if n.tracer != nil {
+		n.tracer(Event{Cycle: n.cycle, Kind: kind, MsgID: msgID, Node: node, Dir: dir})
+	}
+}

@@ -1,0 +1,277 @@
+// Package corona implements a Corona-style optical crossbar network
+// (Vantrease et al., ISCA 2008) as a comparison substrate: the bus-based
+// alternative the paper's introduction and related-work sections argue
+// against for snoopy cache-coherent traffic.
+//
+// Each node owns one multiple-writer single-reader (MWSR) optical data
+// channel routed in a snake past every node; a writer must first seize the
+// channel's circulating optical token, then modulates the full packet onto
+// the owner's channel in a single bus transaction. Broadcasts use one
+// shared broadcast channel whose power is split among all readers. The
+// model captures the architecture's first-order behaviour: token
+// acquisition latency, snake propagation delay, per-channel serialisation,
+// and the single broadcast bus that saturates under snoopy request storms
+// - the scalability limit Phastlane's switched multicast avoids.
+package corona
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/photonic"
+	"phastlane/internal/power"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
+)
+
+// Config parameterises the Corona-style network.
+type Config struct {
+	// Nodes is the endpoint count (one data channel per node).
+	Nodes int
+	// RingCycles is the full snake round-trip time in clock cycles;
+	// a token needs this long to circulate once.
+	RingCycles int
+	// TokenTurnaround is the dead time on a channel between one
+	// writer releasing the token and the next acquiring it.
+	TokenTurnaround int
+	// NICEntries is the injection queue capacity per node.
+	NICEntries int
+	Seed       int64
+}
+
+// DefaultConfig sizes the snake for the paper's 16 nm 8x8 die: 64 nodes,
+// a ~128 mm snake at 10.45 ps/mm is ~6 cycles at 4 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:           64,
+		RingCycles:      6,
+		TokenTurnaround: 2,
+		NICEntries:      50,
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("corona: %d nodes", c.Nodes)
+	}
+	if c.RingCycles < 1 || c.TokenTurnaround < 0 {
+		return fmt.Errorf("corona: ring %d / turnaround %d", c.RingCycles, c.TokenTurnaround)
+	}
+	if c.NICEntries < 1 {
+		return fmt.Errorf("corona: NIC entries %d", c.NICEntries)
+	}
+	return nil
+}
+
+// request is one queued bus transaction.
+type request struct {
+	msgID     uint64
+	src       mesh.NodeID
+	dst       mesh.NodeID // ignored for broadcast
+	broadcast bool
+	// tokenAt is the earliest cycle the writer can have the channel's
+	// token (its random phase alignment with the circulating token).
+	tokenAt int64
+}
+
+// delivery is a scheduled arrival.
+type delivery struct {
+	at  int64
+	out sim.Delivery
+}
+
+// channel is one MWSR bus: its owner reads, everyone writes after seizing
+// the token.
+type channel struct {
+	freeAt int64
+	rr     int // round-robin pointer over writers
+}
+
+// Network is the Corona-style simulator implementing sim.Network.
+type Network struct {
+	cfg Config
+	rng *rand.Rand
+	// queues[n] is node n's injection FIFO.
+	queues [][]*request
+	// channels[d] carries traffic to reader d; channels[Nodes] is the
+	// broadcast bus.
+	channels []channel
+	inFlight []delivery
+	live     int
+	run      stats.Run
+	cycle    int64
+}
+
+var _ sim.Network = (*Network)(nil)
+
+// New builds a Corona-style network; it panics on invalid configuration.
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		queues:   make([][]*request, cfg.Nodes),
+		channels: make([]channel, cfg.Nodes+1),
+	}
+}
+
+// Nodes implements sim.Network.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Run implements sim.Network.
+func (n *Network) Run() *stats.Run { return &n.run }
+
+// NICFree implements sim.Network.
+func (n *Network) NICFree(node mesh.NodeID) int {
+	f := n.cfg.NICEntries - len(n.queues[node])
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Quiescent implements sim.Network.
+func (n *Network) Quiescent() bool { return n.live == 0 && len(n.inFlight) == 0 }
+
+// Inject implements sim.Network.
+func (n *Network) Inject(m sim.Message) {
+	if n.NICFree(m.Src) <= 0 {
+		panic(fmt.Sprintf("corona: inject into full NIC at node %d", m.Src))
+	}
+	n.run.Injected++
+	r := &request{msgID: m.ID, src: m.Src,
+		tokenAt: n.cycle + int64(n.rng.Intn(n.cfg.RingCycles))}
+	switch {
+	case len(m.Dsts) == 1:
+		if m.Dsts[0] == m.Src {
+			panic("corona: self-directed message")
+		}
+		r.dst = m.Dsts[0]
+	case len(m.Dsts) == n.cfg.Nodes-1:
+		r.broadcast = true
+	default:
+		panic(fmt.Sprintf("corona: message with %d destinations: only unicast or full broadcast supported", len(m.Dsts)))
+	}
+	n.queues[m.Src] = append(n.queues[m.Src], r)
+	n.live++
+}
+
+// propCycles is the snake propagation time from writer to reader: the
+// distance along the ring, as a fraction of the full circulation time.
+func (n *Network) propCycles(src, dst mesh.NodeID) int64 {
+	dist := (int(dst) - int(src) + n.cfg.Nodes) % n.cfg.Nodes
+	c := int64(dist) * int64(n.cfg.RingCycles) / int64(n.cfg.Nodes)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Step implements sim.Network: deliver matured transactions, then let each
+// free channel serve its next writer in round-robin token order.
+func (n *Network) Step() []sim.Delivery {
+	var out []sim.Delivery
+	rest := n.inFlight[:0]
+	for _, d := range n.inFlight {
+		if d.at <= n.cycle {
+			out = append(out, d.out)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	n.inFlight = rest
+
+	// One write per node per cycle: a node's modulator bank drives one
+	// channel at a time.
+	writing := make([]bool, n.cfg.Nodes)
+	for ch := range n.channels {
+		n.serveChannel(ch, writing)
+	}
+	n.run.LeakagePJ += power.LeakagePJ(leakageWPerNode, n.cfg.Nodes, 1, photonic.DefaultClockGHz)
+	n.cycle++
+	return out
+}
+
+// serveChannel grants channel ch to its next eligible writer.
+func (n *Network) serveChannel(ch int, writing []bool) {
+	c := &n.channels[ch]
+	if c.freeAt > n.cycle {
+		return
+	}
+	for k := 0; k < n.cfg.Nodes; k++ {
+		writer := (c.rr + k) % n.cfg.Nodes
+		if writing[writer] || len(n.queues[writer]) == 0 {
+			continue
+		}
+		head := n.queues[writer][0]
+		if head.tokenAt > n.cycle || channelOf(head, n.cfg.Nodes) != ch {
+			continue
+		}
+		// Seize the token and transmit.
+		n.queues[writer] = n.queues[writer][1:]
+		writing[writer] = true
+		c.rr = (writer + 1) % n.cfg.Nodes
+		c.freeAt = n.cycle + 1 + int64(n.cfg.TokenTurnaround)
+		n.transmit(head)
+		return
+	}
+}
+
+// channelOf maps a request to its bus: the reader's channel, or the shared
+// broadcast bus.
+func channelOf(r *request, nodes int) int {
+	if r.broadcast {
+		return nodes
+	}
+	return int(r.dst)
+}
+
+// transmit schedules the deliveries and charges energy.
+func (n *Network) transmit(r *request) {
+	n.live--
+	if r.broadcast {
+		// The broadcast bus splits its power among all readers;
+		// everyone receives after the full snake traversal.
+		at := n.cycle + int64(n.cfg.RingCycles)
+		for d := 0; d < n.cfg.Nodes; d++ {
+			if mesh.NodeID(d) == r.src {
+				continue
+			}
+			n.inFlight = append(n.inFlight, delivery{
+				at:  at,
+				out: sim.Delivery{MsgID: r.msgID, Dst: mesh.NodeID(d)},
+			})
+		}
+		n.run.OpticalEnergyPJ += broadcastTransmitPJ(n.cfg.Nodes)
+		n.run.ElectricalEnergyPJ += float64(n.cfg.Nodes-1) * receivePJ
+		n.run.LinkTraversals += int64(n.cfg.RingCycles)
+		return
+	}
+	n.inFlight = append(n.inFlight, delivery{
+		at:  n.cycle + n.propCycles(r.src, r.dst),
+		out: sim.Delivery{MsgID: r.msgID, Dst: r.dst},
+	})
+	n.run.OpticalEnergyPJ += unicastTransmitPJ
+	n.run.ElectricalEnergyPJ += receivePJ + modulatePJ
+	n.run.LinkTraversals += n.propCycles(r.src, r.dst)
+}
+
+// Energy constants: the snake has no waveguide crossings, so unicast
+// transmission is cheap; the broadcast bus pays an N-way power split.
+const (
+	unicastTransmitPJ = 12.0
+	receivePJ         = 5.7
+	modulatePJ        = 7.1
+)
+
+// leakageWPerNode covers the per-node receiver front-ends and queues.
+const leakageWPerNode = 0.006
+
+func broadcastTransmitPJ(nodes int) float64 {
+	return unicastTransmitPJ * float64(nodes) / 4
+}

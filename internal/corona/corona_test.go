@@ -1,0 +1,221 @@
+package corona
+
+import (
+	"math/rand"
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/sim"
+)
+
+func stepUntilQuiescent(t *testing.T, n *Network, limit int) []sim.Delivery {
+	t.Helper()
+	var all []sim.Delivery
+	for i := 0; i < limit; i++ {
+		all = append(all, n.Step()...)
+		if n.Quiescent() {
+			return all
+		}
+	}
+	t.Fatalf("network not quiescent after %d cycles", limit)
+	return nil
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.RingCycles = 0 },
+		func(c *Config) { c.TokenTurnaround = -1 },
+		func(c *Config) { c.NICEntries = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 3, Dsts: []mesh.NodeID{40}, Op: packet.OpSynthetic})
+	ds := stepUntilQuiescent(t, n, 100)
+	if len(ds) != 1 || ds[0].Dst != 40 || ds[0].MsgID != 1 {
+		t.Fatalf("deliveries = %v", ds)
+	}
+}
+
+func TestUnicastLatencyBounded(t *testing.T) {
+	// Uncontended: token wait < RingCycles, propagation <= RingCycles.
+	cfg := DefaultConfig()
+	n := New(cfg)
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{32}, Op: packet.OpSynthetic})
+	for i := 0; i < 3*cfg.RingCycles+2; i++ {
+		if ds := n.Step(); len(ds) == 1 {
+			return
+		}
+	}
+	t.Fatal("uncontended unicast exceeded the token+propagation bound")
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	n := New(DefaultConfig())
+	var all []mesh.NodeID
+	for i := mesh.NodeID(0); i < 64; i++ {
+		if i != 5 {
+			all = append(all, i)
+		}
+	}
+	n.Inject(sim.Message{ID: 1, Src: 5, Dsts: all, Op: packet.OpWriteReq})
+	got := map[mesh.NodeID]int{}
+	for _, d := range stepUntilQuiescent(t, n, 100) {
+		got[d.Dst]++
+	}
+	if len(got) != 63 {
+		t.Fatalf("broadcast reached %d nodes", len(got))
+	}
+	for node, c := range got {
+		if c != 1 {
+			t.Errorf("node %d received %d copies", node, c)
+		}
+	}
+}
+
+func TestChannelSerialisation(t *testing.T) {
+	// Two writers to the same reader must serialise on the token: the
+	// second delivery is at least TokenTurnaround+1 after the first
+	// grant.
+	cfg := DefaultConfig()
+	cfg.RingCycles = 1 // eliminate token-phase randomness
+	n := New(cfg)
+	n.Inject(sim.Message{ID: 1, Src: 1, Dsts: []mesh.NodeID{10}, Op: packet.OpSynthetic})
+	n.Inject(sim.Message{ID: 2, Src: 2, Dsts: []mesh.NodeID{10}, Op: packet.OpSynthetic})
+	arrival := map[uint64]int{}
+	for i := 0; i < 60; i++ {
+		for _, d := range n.Step() {
+			arrival[d.MsgID] = i
+		}
+		if len(arrival) == 2 {
+			break
+		}
+	}
+	if len(arrival) != 2 {
+		t.Fatal("not all packets delivered")
+	}
+	gap := arrival[2] - arrival[1]
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap < cfg.TokenTurnaround {
+		t.Errorf("same-channel deliveries only %d cycles apart, want >= %d", gap, cfg.TokenTurnaround)
+	}
+}
+
+func TestBroadcastBusBottleneck(t *testing.T) {
+	// Many simultaneous broadcasts share ONE bus: total completion time
+	// grows linearly with the broadcast count - the scalability limit
+	// Phastlane's switched multicast avoids.
+	cfg := DefaultConfig()
+	n := New(cfg)
+	const sources = 16
+	var all [][]mesh.NodeID
+	for s := mesh.NodeID(0); s < sources; s++ {
+		var dsts []mesh.NodeID
+		for i := mesh.NodeID(0); i < 64; i++ {
+			if i != s {
+				dsts = append(dsts, i)
+			}
+		}
+		all = append(all, dsts)
+	}
+	for s := 0; s < sources; s++ {
+		n.Inject(sim.Message{ID: uint64(s + 1), Src: mesh.NodeID(s), Dsts: all[s], Op: packet.OpWriteReq})
+	}
+	ds := stepUntilQuiescent(t, n, 1000)
+	if len(ds) != sources*63 {
+		t.Fatalf("delivered %d, want %d", len(ds), sources*63)
+	}
+	// Lower bound: each broadcast holds the bus for 1+turnaround.
+	if got := n.cycle; got < int64(sources*(1+cfg.TokenTurnaround)) {
+		t.Errorf("completion at cycle %d, impossibly fast for a single bus", got)
+	}
+}
+
+func TestExactOnceUnderLoad(t *testing.T) {
+	n := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	injected := map[uint64]mesh.NodeID{}
+	delivered := map[uint64]int{}
+	var id uint64
+	for cycle := 0; cycle < 300; cycle++ {
+		for node := mesh.NodeID(0); node < 64; node++ {
+			if rng.Float64() < 0.1 && n.NICFree(node) > 0 {
+				dst := mesh.NodeID(rng.Intn(64))
+				if dst == node {
+					continue
+				}
+				id++
+				injected[id] = dst
+				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
+			}
+		}
+		for _, d := range n.Step() {
+			delivered[d.MsgID]++
+		}
+	}
+	for i := 0; i < 5000 && !n.Quiescent(); i++ {
+		for _, d := range n.Step() {
+			delivered[d.MsgID]++
+		}
+	}
+	if len(delivered) != len(injected) {
+		t.Fatalf("delivered %d distinct, injected %d", len(delivered), len(injected))
+	}
+	for m, c := range delivered {
+		if c != 1 || injected[m] == 0 && c != 1 {
+			t.Fatalf("msg %d delivered %d times", m, c)
+		}
+	}
+}
+
+func TestNICCapacityAndPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NICEntries = 1
+	n := New(cfg)
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
+	if n.NICFree(0) != 0 {
+		t.Error("NICFree should be 0")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("full NIC", func() {
+		n.Inject(sim.Message{ID: 2, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
+	})
+	n2 := New(DefaultConfig())
+	mustPanic("self-directed", func() {
+		n2.Inject(sim.Message{ID: 1, Src: 2, Dsts: []mesh.NodeID{2}, Op: packet.OpSynthetic})
+	})
+	mustPanic("partial multicast", func() {
+		n2.Inject(sim.Message{ID: 1, Src: 2, Dsts: []mesh.NodeID{3, 4}, Op: packet.OpSynthetic})
+	})
+}
+
+func TestEnergyAccumulates(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{9}, Op: packet.OpSynthetic})
+	stepUntilQuiescent(t, n, 100)
+	if n.Run().OpticalEnergyPJ <= 0 || n.Run().ElectricalEnergyPJ <= 0 || n.Run().LeakagePJ <= 0 {
+		t.Error("energy not accumulating")
+	}
+}

@@ -1,0 +1,467 @@
+// Package electrical implements the paper's baseline network (Section 4,
+// Table 2): an aggressive input-queued virtual-channel router mesh with
+// iSLIP virtual-channel and switch allocation, 10 single-flit VCs per port,
+// credit-based flow control with wait-for-tail-credit, a 2-or-3-cycle
+// per-hop router latency (pipeline speculation and route lookahead
+// assumed), input speedup 4, direct 1-cycle ejection that bypasses the
+// crossbar, and Virtual Circuit Tree Multicasting for broadcasts.
+package electrical
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phastlane/internal/islip"
+	"phastlane/internal/mesh"
+	"phastlane/internal/photonic"
+	"phastlane/internal/power"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
+	"phastlane/internal/vctm"
+)
+
+// Config parameterises the baseline network. DefaultConfig matches Table 2
+// with the three-cycle router; set RouterDelay to 2 for the "very
+// aggressive" variant of Section 5.
+type Config struct {
+	Width, Height int
+	// VCs is the number of virtual channels per input port, each
+	// holding one flit (Table 2).
+	VCs int
+	// RouterDelay is the per-hop latency in cycles (2 or 3).
+	RouterDelay int
+	// InputSpeedup is how many flits one input port may push through
+	// the crossbar per cycle (Table 2: 4).
+	InputSpeedup int
+	// Iterations is the iSLIP iteration count for both allocators.
+	Iterations int
+	// NICEntries is the injection queue capacity (Table 2: 50).
+	NICEntries int
+	Seed       int64
+}
+
+// DefaultConfig returns the Table 2 baseline.
+func DefaultConfig() Config {
+	return Config{
+		Width: 8, Height: 8,
+		VCs:          10,
+		RouterDelay:  3,
+		InputSpeedup: 4,
+		Iterations:   2,
+		NICEntries:   50,
+		Seed:         1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width < 2 || c.Height < 2 {
+		return fmt.Errorf("electrical: mesh %dx%d too small", c.Width, c.Height)
+	}
+	if c.VCs < 1 {
+		return fmt.Errorf("electrical: VCs %d", c.VCs)
+	}
+	if c.RouterDelay < 2 {
+		return fmt.Errorf("electrical: router delay %d below the 2-cycle floor", c.RouterDelay)
+	}
+	if c.InputSpeedup < 1 || c.Iterations < 1 || c.NICEntries < 1 {
+		return fmt.Errorf("electrical: bad speedup/iterations/NIC (%d/%d/%d)",
+			c.InputSpeedup, c.Iterations, c.NICEntries)
+	}
+	return nil
+}
+
+// epacket is one logical packet (a single flit). Multicast packets carry
+// their VCTM tree and are replicated in-network at branch routers.
+type epacket struct {
+	msgID uint64
+	dst   mesh.NodeID // unicast destination; ignored when tree != nil
+	tree  *vctm.Tree
+}
+
+// branch is one pending replication of a packet out of a router.
+type branch struct {
+	dir   mesh.Dir
+	outVC int // downstream VC reserved by VA, or -1
+}
+
+// vcState is one single-flit virtual channel.
+type vcState struct {
+	pkt      *epacket
+	age      int
+	deliver  bool // pending ejection to the local node
+	branches []branch
+	// availAt is when the (empty) VC may be reserved again by an
+	// upstream VA - the credit round-trip of wait-for-tail-credit.
+	availAt  int64
+	reserved bool
+}
+
+func (v *vcState) empty() bool { return v.pkt == nil }
+
+// erouter is one baseline router: five input ports (N, E, S, W, local
+// injection) of VCs single-flit channels, per-output-port VC allocators,
+// and a switch allocator with input speedup.
+type erouter struct {
+	vcs [mesh.NumDirs][]vcState
+	va  [mesh.NumLinkDirs]*islip.Allocator
+	sa  *islip.Allocator
+	nic []*epacket
+}
+
+// arrival is a flit in transit on a link, applied at the next cycle.
+type arrival struct {
+	node mesh.NodeID
+	port mesh.Dir
+	vc   int
+	pkt  *epacket
+}
+
+// Network is the electrical baseline simulator implementing sim.Network.
+type Network struct {
+	cfg     Config
+	m       *mesh.Mesh
+	energy  power.Electrical
+	rng     *rand.Rand
+	routers []erouter
+	transit []arrival
+	trees   map[string]*vctm.Tree
+	run     stats.Run
+	cycle   int64
+}
+
+var _ sim.Network = (*Network)(nil)
+
+// New builds a baseline network; it panics on invalid configuration.
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := mesh.New(cfg.Width, cfg.Height)
+	n := &Network{
+		cfg:     cfg,
+		m:       m,
+		energy:  power.NewElectrical(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		routers: make([]erouter, m.Nodes()),
+		trees:   make(map[string]*vctm.Tree),
+	}
+	for i := range n.routers {
+		r := &n.routers[i]
+		for p := 0; p < mesh.NumDirs; p++ {
+			r.vcs[p] = make([]vcState, cfg.VCs)
+		}
+		for p := 0; p < mesh.NumLinkDirs; p++ {
+			r.va[p] = islip.New(mesh.NumDirs*cfg.VCs, cfg.VCs, 1, cfg.Iterations)
+		}
+		r.sa = islip.New(mesh.NumDirs, mesh.NumLinkDirs, cfg.InputSpeedup, cfg.Iterations)
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes implements sim.Network.
+func (n *Network) Nodes() int { return n.m.Nodes() }
+
+// Run implements sim.Network.
+func (n *Network) Run() *stats.Run { return &n.run }
+
+// NICFree implements sim.Network.
+func (n *Network) NICFree(node mesh.NodeID) int {
+	f := n.cfg.NICEntries - len(n.routers[node].nic)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Quiescent implements sim.Network.
+func (n *Network) Quiescent() bool {
+	if len(n.transit) > 0 {
+		return false
+	}
+	for i := range n.routers {
+		r := &n.routers[i]
+		if len(r.nic) > 0 {
+			return false
+		}
+		for p := 0; p < mesh.NumDirs; p++ {
+			for v := range r.vcs[p] {
+				if !r.vcs[p][v].empty() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Inject implements sim.Network. Broadcasts become a single packet with a
+// cached VCTM tree, replicated at branch routers.
+func (n *Network) Inject(m sim.Message) {
+	if n.NICFree(m.Src) <= 0 {
+		panic(fmt.Sprintf("electrical: inject into full NIC at node %d", m.Src))
+	}
+	n.run.Injected++
+	p := &epacket{msgID: m.ID}
+	switch {
+	case len(m.Dsts) == 1:
+		if m.Dsts[0] == m.Src {
+			panic("electrical: self-directed message")
+		}
+		p.dst = m.Dsts[0]
+	case len(m.Dsts) > 1:
+		key := vctm.Key(m.Src, m.Dsts)
+		tree, ok := n.trees[key]
+		if !ok {
+			tree = vctm.Build(n.m, m.Src, m.Dsts)
+			n.trees[key] = tree
+		}
+		p.tree = tree
+	default:
+		panic("electrical: message without destinations")
+	}
+	n.routers[m.Src].nic = append(n.routers[m.Src].nic, p)
+}
+
+// branchesAt computes the replication set of a packet at a router: the
+// onward directions and whether it ejects locally.
+func (n *Network) branchesAt(p *epacket, at mesh.NodeID) ([]branch, bool) {
+	if p.tree != nil {
+		dirs := p.tree.Children(at)
+		bs := make([]branch, len(dirs))
+		for i, d := range dirs {
+			bs[i] = branch{dir: d, outVC: -1}
+		}
+		return bs, p.tree.Deliver(at)
+	}
+	if at == p.dst {
+		return nil, true
+	}
+	route := n.m.Route(at, p.dst)
+	return []branch{{dir: route[0], outVC: -1}}, false
+}
+
+// Step implements sim.Network: apply link arrivals, eject, inject, run VC
+// allocation then switch allocation, launch winners, age VCs.
+func (n *Network) Step() []sim.Delivery {
+	var deliveries []sim.Delivery
+
+	// 1. Link arrivals from the previous cycle occupy their reserved
+	// VCs.
+	for _, a := range n.transit {
+		vc := &n.routers[a.node].vcs[a.port][a.vc]
+		if !vc.empty() || !vc.reserved {
+			panic("electrical: arrival into non-reserved VC")
+		}
+		bs, deliver := n.branchesAt(a.pkt, a.node)
+		*vc = vcState{pkt: a.pkt, branches: bs, deliver: deliver, reserved: false}
+		n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
+	}
+	n.transit = n.transit[:0]
+
+	// 2. Ejection: one cycle after entering the router, bypassing the
+	// crossbar.
+	for node := range n.routers {
+		r := &n.routers[node]
+		for p := 0; p < mesh.NumDirs; p++ {
+			for v := range r.vcs[p] {
+				vc := &r.vcs[p][v]
+				if vc.empty() || !vc.deliver || vc.age < 1 {
+					continue
+				}
+				deliveries = append(deliveries, sim.Delivery{MsgID: vc.pkt.msgID, Dst: mesh.NodeID(node)})
+				n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ
+				vc.deliver = false
+				n.freeIfDone(vc)
+			}
+		}
+	}
+
+	// 3. Injection: NIC head moves into a free local-port VC (one per
+	// node per cycle).
+	for node := range n.routers {
+		r := &n.routers[node]
+		if len(r.nic) == 0 {
+			continue
+		}
+		for v := range r.vcs[mesh.Local] {
+			vc := &r.vcs[mesh.Local][v]
+			if !vc.empty() || vc.reserved || vc.availAt > n.cycle {
+				continue
+			}
+			pkt := r.nic[0]
+			r.nic = r.nic[1:]
+			bs, deliver := n.branchesAt(pkt, mesh.NodeID(node))
+			*vc = vcState{pkt: pkt, branches: bs, deliver: deliver}
+			n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
+			break
+		}
+	}
+
+	// 4. VC allocation: per output port, match requesting branches to
+	// free downstream VCs.
+	n.allocateVCs()
+
+	// 5. Switch allocation and traversal.
+	n.allocateSwitch()
+
+	// 6. Age and leak.
+	for node := range n.routers {
+		r := &n.routers[node]
+		for p := 0; p < mesh.NumDirs; p++ {
+			for v := range r.vcs[p] {
+				if !r.vcs[p][v].empty() {
+					r.vcs[p][v].age++
+				}
+			}
+		}
+	}
+	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
+	n.cycle++
+	return deliveries
+}
+
+// freeIfDone releases a VC whose packet has no pending work; the credit
+// returns to upstream VA one cycle later (wait-for-tail-credit).
+func (n *Network) freeIfDone(vc *vcState) {
+	if vc.deliver || len(vc.branches) > 0 {
+		return
+	}
+	vc.pkt = nil
+	vc.age = 0
+	vc.availAt = n.cycle + 1
+}
+
+// allocateVCs runs the per-output-port iSLIP VC allocators. Requests and
+// free downstream VCs are gathered up front so idle ports skip the matching
+// entirely.
+func (n *Network) allocateVCs() {
+	reqs := make([]bool, mesh.NumDirs*n.cfg.VCs)
+	free := make([]bool, n.cfg.VCs)
+	for node := range n.routers {
+		r := &n.routers[node]
+		for out := 0; out < mesh.NumLinkDirs; out++ {
+			dir := mesh.Dir(out)
+			next, ok := n.m.Neighbor(mesh.NodeID(node), dir)
+			if !ok {
+				continue
+			}
+			down := &n.routers[next]
+			inPort := dir.Opposite()
+			anyReq := false
+			for p := 0; p < mesh.NumDirs; p++ {
+				for v := range r.vcs[p] {
+					want := false
+					vc := &r.vcs[p][v]
+					if !vc.empty() {
+						for _, b := range vc.branches {
+							if b.dir == dir && b.outVC < 0 {
+								want = true
+								break
+							}
+						}
+					}
+					reqs[p*n.cfg.VCs+v] = want
+					anyReq = anyReq || want
+				}
+			}
+			if !anyReq {
+				continue
+			}
+			anyFree := false
+			for v := 0; v < n.cfg.VCs; v++ {
+				dvc := &down.vcs[inPort][v]
+				free[v] = dvc.empty() && !dvc.reserved && dvc.availAt <= n.cycle
+				anyFree = anyFree || free[v]
+			}
+			if !anyFree {
+				continue
+			}
+			match := r.va[out].Match(func(in, outVC int) bool {
+				return reqs[in] && free[outVC]
+			})
+			for outVC, in := range match {
+				if in < 0 {
+					continue
+				}
+				p, v := in/n.cfg.VCs, in%n.cfg.VCs
+				vc := &r.vcs[p][v]
+				for i := range vc.branches {
+					if vc.branches[i].dir == dir && vc.branches[i].outVC < 0 {
+						vc.branches[i].outVC = outVC
+						break
+					}
+				}
+				down.vcs[inPort][outVC].reserved = true
+				n.run.ElectricalEnergyPJ += n.energy.ArbitrationPJ
+			}
+		}
+	}
+}
+
+// allocateSwitch runs the iSLIP switch allocator (input speedup 4) and
+// launches the granted flits onto their links.
+func (n *Network) allocateSwitch() {
+	ready := n.cfg.RouterDelay - 1
+	for node := range n.routers {
+		r := &n.routers[node]
+		// An input port requests an output when any of its VCs has
+		// an allocated, unsent branch and has aged through the
+		// pipeline.
+		match := r.sa.Match(func(in, out int) bool {
+			dir := mesh.Dir(out)
+			for v := range r.vcs[in] {
+				vc := &r.vcs[in][v]
+				if vc.empty() || vc.age < ready {
+					continue
+				}
+				for _, b := range vc.branches {
+					if b.dir == dir && b.outVC >= 0 {
+						return true
+					}
+				}
+			}
+			return false
+		})
+		for out, in := range match {
+			if in < 0 {
+				continue
+			}
+			dir := mesh.Dir(out)
+			// Pick the oldest eligible VC on this input port.
+			bestV, bestAge, bestB := -1, -1, -1
+			for v := range r.vcs[in] {
+				vc := &r.vcs[in][v]
+				if vc.empty() || vc.age < ready || vc.age <= bestAge {
+					continue
+				}
+				for bi, b := range vc.branches {
+					if b.dir == dir && b.outVC >= 0 {
+						bestV, bestAge, bestB = v, vc.age, bi
+						break
+					}
+				}
+			}
+			if bestV < 0 {
+				panic("electrical: SA grant without eligible VC")
+			}
+			vc := &r.vcs[in][bestV]
+			b := vc.branches[bestB]
+			next, ok := n.m.Neighbor(mesh.NodeID(node), dir)
+			if !ok {
+				panic("electrical: traversal off mesh edge")
+			}
+			n.transit = append(n.transit, arrival{
+				node: next, port: dir.Opposite(), vc: b.outVC, pkt: vc.pkt,
+			})
+			vc.branches = append(vc.branches[:bestB], vc.branches[bestB+1:]...)
+			n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ + n.energy.CrossbarPJ +
+				n.energy.LinkPJ + n.energy.ArbitrationPJ
+			n.run.LinkTraversals++
+			n.freeIfDone(vc)
+		}
+	}
+}

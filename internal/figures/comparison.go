@@ -1,0 +1,133 @@
+package figures
+
+import (
+	"phastlane/internal/circuit"
+	"phastlane/internal/corona"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
+	"phastlane/internal/traffic"
+)
+
+// The architecture comparison goes beyond the paper's own evaluation: it
+// quantifies the Section 1/6 qualitative arguments by running the two
+// related-work photonic architectures - a Corona-style MWSR token-bus
+// crossbar and a Columbia-style circuit-switched mesh - against Phastlane
+// and the electrical baseline on identical traffic.
+
+// CoronaStyle and CircuitStyle are the related-work comparison networks.
+var (
+	CoronaStyle = NetConfig{
+		Name:    "Corona-bus",
+		Optical: true,
+		Build: func(seed int64) sim.Network {
+			cfg := corona.DefaultConfig()
+			cfg.Seed = seed
+			return corona.New(cfg)
+		},
+	}
+	CircuitStyle = NetConfig{
+		Name:    "Circuit-sw",
+		Optical: true,
+		Build: func(seed int64) sim.Network {
+			cfg := circuit.DefaultConfig()
+			cfg.Seed = seed
+			return circuit.New(cfg)
+		},
+	}
+)
+
+// CompareConfigs returns the four architectures of the comparison.
+func CompareConfigs() []NetConfig {
+	return []NetConfig{Optical4, Electrical3, CoronaStyle, CircuitStyle}
+}
+
+// CompareOpts controls the architecture comparison.
+type CompareOpts struct {
+	// Rates for the synthetic (uniform-random) latency sweep.
+	Rates           []float64
+	Warmup, Measure int
+	// Benchmark and Messages select the coherence-trace round.
+	Benchmark string
+	Messages  int
+	Seed      int64
+}
+
+// CompareResult holds one architecture's numbers.
+type CompareResult struct {
+	Config string
+	// UniformLatency maps injection rate to mean latency; saturated
+	// points are absent.
+	UniformLatency map[float64]float64
+	// SaturationRate is the highest non-saturated swept rate.
+	SaturationRate float64
+	// TraceLatency and TracePowerW come from the coherence replay.
+	TraceLatency float64
+	TracePowerW  float64
+	TraceDrops   int64
+}
+
+// Compare runs the synthetic sweep and the coherence-trace round on every
+// architecture.
+func Compare(opts CompareOpts) ([]CompareResult, error) {
+	if opts.Rates == nil {
+		opts.Rates = []float64{0.02, 0.05, 0.10, 0.20, 0.30}
+	}
+	if opts.Benchmark == "" {
+		opts.Benchmark = "LU"
+	}
+	tr, err := TraceFor(opts.Benchmark, opts.Messages, opts.Seed+21)
+	if err != nil {
+		return nil, err
+	}
+	var out []CompareResult
+	for _, cfg := range CompareConfigs() {
+		res := CompareResult{Config: cfg.Name, UniformLatency: map[float64]float64{}}
+		for _, rate := range opts.Rates {
+			r := sim.RunRate(cfg.Build(opts.Seed), sim.RateConfig{
+				Pattern: traffic.UniformRandom(64, opts.Seed+5),
+				Rate:    rate, Warmup: opts.Warmup, Measure: opts.Measure,
+				Seed: opts.Seed,
+			})
+			if r.Saturated {
+				break
+			}
+			res.UniformLatency[rate] = r.Run.Latency.Mean()
+			res.SaturationRate = rate
+		}
+		trres, err := sim.RunTrace(cfg.Build(opts.Seed), tr, sim.ReplayConfig{})
+		if err != nil {
+			return nil, err
+		}
+		res.TraceLatency = trres.Run.Latency.Mean()
+		res.TracePowerW = trres.Run.PowerW(4.0)
+		res.TraceDrops = trres.Run.Drops
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CompareTable renders the comparison.
+func CompareTable(results []CompareResult, rates []float64) *stats.Table {
+	if rates == nil {
+		rates = []float64{0.02, 0.05, 0.10, 0.20, 0.30}
+	}
+	cols := []string{"architecture"}
+	for _, r := range rates {
+		cols = append(cols, "lat@"+stats.F(r))
+	}
+	cols = append(cols, "coherence-lat", "coherence-W")
+	t := &stats.Table{Title: "Architecture comparison (uniform traffic + coherence trace)", Columns: cols}
+	for _, res := range results {
+		cells := []string{res.Config}
+		for _, r := range rates {
+			if v, ok := res.UniformLatency[r]; ok {
+				cells = append(cells, stats.F(v))
+			} else {
+				cells = append(cells, "sat")
+			}
+		}
+		cells = append(cells, stats.F(res.TraceLatency), stats.F(res.TracePowerW))
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation: the Section 3 design-space analyses (Figs. 4-8), the
+// configuration tables (Tables 1-4), the synthetic latency/saturation
+// curves (Fig. 9), and the SPLASH2 network speedup and power comparisons
+// (Figs. 10-11). The cmd/ tools and the top-level benchmarks are thin
+// wrappers around this package.
+package figures
+
+import (
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/sim"
+)
+
+// NetConfig is one named network configuration of Section 5.
+type NetConfig struct {
+	Name string
+	// Optical distinguishes Phastlane variants from the baseline.
+	Optical bool
+	// Build constructs a fresh network for one run.
+	Build func(seed int64) sim.Network
+}
+
+// opticalCfg builds a Phastlane variant.
+func opticalCfg(name string, maxHops, buffers int) NetConfig {
+	return NetConfig{
+		Name:    name,
+		Optical: true,
+		Build: func(seed int64) sim.Network {
+			cfg := core.DefaultConfig()
+			cfg.MaxHops = maxHops
+			cfg.BufferEntries = buffers
+			cfg.Seed = seed
+			return core.New(cfg)
+		},
+	}
+}
+
+// electricalCfg builds a baseline variant.
+func electricalCfg(name string, routerDelay int) NetConfig {
+	return NetConfig{
+		Name: name,
+		Build: func(seed int64) sim.Network {
+			cfg := electrical.DefaultConfig()
+			cfg.RouterDelay = routerDelay
+			cfg.Seed = seed
+			return electrical.New(cfg)
+		},
+	}
+}
+
+// Section 5 configurations. Electrical3 is the normalisation baseline.
+var (
+	// Optical4/5/8: pessimistic, average, optimistic device scaling
+	// with 10 buffer entries.
+	Optical4 = opticalCfg("Optical4", 4, 10)
+	Optical5 = opticalCfg("Optical5", 5, 10)
+	Optical8 = opticalCfg("Optical8", 8, 10)
+	// Buffer-size variants of the four-hop network.
+	Optical4B32 = opticalCfg("Optical4B32", 4, 32)
+	Optical4B64 = opticalCfg("Optical4B64", 4, 64)
+	Optical4IB  = opticalCfg("Optical4IB", 4, -1)
+	// Electrical baselines with 3- and 2-cycle routers.
+	Electrical3 = electricalCfg("Electrical3", 3)
+	Electrical2 = electricalCfg("Electrical2", 2)
+)
+
+// Fig9Configs returns the configurations plotted in Fig. 9.
+func Fig9Configs() []NetConfig {
+	return []NetConfig{Optical4, Optical5, Optical8, Electrical3, Electrical2}
+}
+
+// Fig10Configs returns the configurations plotted in Figs. 10 and 11,
+// excluding the Electrical3 baseline they are normalised against.
+func Fig10Configs() []NetConfig {
+	return []NetConfig{Optical4, Optical5, Optical8, Optical4B32, Optical4B64, Optical4IB, Electrical2}
+}

@@ -1,0 +1,166 @@
+package figures
+
+import (
+	"fmt"
+
+	"phastlane/internal/coherence"
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/photonic"
+	"phastlane/internal/stats"
+)
+
+// fig5WDMs are the wavelength counts the paper sweeps.
+var fig5WDMs = []int{32, 64, 128}
+
+// Fig4 tabulates the transmit and receive delay scaling trends from 45 nm
+// to 16 nm under the three fitting assumptions (paper Fig. 4).
+func Fig4() *stats.Table {
+	t := &stats.Table{
+		Title: "Fig. 4: transmit/receive delay scaling (ps)",
+		Columns: []string{"node(nm)",
+			"tx-opt", "tx-avg", "tx-pess",
+			"rx-opt", "rx-avg", "rx-pess"},
+	}
+	for _, node := range []float64{45, 38, 32, 27, 22, 18, 16} {
+		row := []string{stats.F(node)}
+		for _, s := range photonic.Scenarios() {
+			row = append(row, stats.F(photonic.DelaysAt(s, node).TransmitPs))
+		}
+		for _, s := range photonic.Scenarios() {
+			row = append(row, stats.F(photonic.DelaysAt(s, node).ReceivePs))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig5 tabulates the router critical-path delays (PP, PB, PA, PIA) per
+// scaling scenario and wavelength count (paper Fig. 5).
+func Fig5() *stats.Table {
+	t := &stats.Table{
+		Title:   "Fig. 5: router critical-path delays (ps)",
+		Columns: []string{"scenario", "wdm", "PP", "PB", "PA", "PIA"},
+	}
+	for _, s := range photonic.Scenarios() {
+		for _, wdm := range fig5WDMs {
+			cp := photonic.Paths(s, wdm)
+			t.AddRow(s.String(), fmt.Sprint(wdm),
+				stats.F(cp.PacketPass), stats.F(cp.PacketBlock),
+				stats.F(cp.PacketAccept), stats.F(cp.PacketInterimAccept))
+		}
+	}
+	return t
+}
+
+// Fig6 tabulates the maximum hops per 4 GHz cycle (paper Fig. 6: 8/5/4
+// independent of wavelength count).
+func Fig6() *stats.Table {
+	t := &stats.Table{
+		Title:   "Fig. 6: max hops per 4 GHz cycle",
+		Columns: []string{"wdm", "optimistic", "average", "pessimistic"},
+	}
+	for _, wdm := range fig5WDMs {
+		row := []string{fmt.Sprint(wdm)}
+		for _, s := range photonic.Scenarios() {
+			row = append(row, fmt.Sprint(photonic.MaxHopsPerCycle(s, wdm, photonic.DefaultClockGHz)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig7 tabulates the peak optical input power contour over crossing
+// efficiency, wavelength count and per-cycle hop limit (paper Fig. 7).
+func Fig7() *stats.Table {
+	effs := []float64{0.97, 0.98, 0.99, 0.995}
+	t := &stats.Table{
+		Title:   "Fig. 7: peak optical power (W)",
+		Columns: []string{"wdm", "hops", "eff97%", "eff98%", "eff99%", "eff99.5%"},
+	}
+	for _, wdm := range fig5WDMs {
+		for _, hops := range []int{2, 3, 4, 5, 8} {
+			row := []string{fmt.Sprint(wdm), fmt.Sprint(hops)}
+			for _, e := range effs {
+				row = append(row, stats.F(photonic.PeakOpticalPowerW(wdm, hops, e)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Fig8 tabulates router area versus wavelength count and the tile-fit
+// outcomes (paper Fig. 8: sweet spot at 64).
+func Fig8() *stats.Table {
+	t := &stats.Table{
+		Title:   "Fig. 8: router area vs wavelengths",
+		Columns: []string{"wdm", "internal(um)", "port(um)", "area(mm2)", "fits-1core", "fits-2core", "fits-4core"},
+	}
+	for _, wdm := range []int{16, 32, 64, 128, 256} {
+		a := photonic.AreaAt(wdm)
+		t.AddRow(fmt.Sprint(wdm),
+			stats.F(a.InternalLengthUM), stats.F(a.PortLengthUM), stats.F(a.TotalMM2),
+			fmt.Sprint(photonic.FitsTile(wdm, photonic.TileAreaSingleCoreMM2)),
+			fmt.Sprint(photonic.FitsTile(wdm, photonic.TileAreaDualCoreMM2)),
+			fmt.Sprint(photonic.FitsTile(wdm, photonic.TileAreaQuadCoreMM2)))
+	}
+	return t
+}
+
+// Table1 renders the optical network configuration (paper Table 1).
+func Table1() *stats.Table {
+	cfg := core.DefaultConfig()
+	t := &stats.Table{Title: "Table 1: optical network configuration", Columns: []string{"parameter", "value"}}
+	t.AddRow("Flits Per Packet", "1 (80 Bytes)")
+	t.AddRow("Packet Payload WDM", fmt.Sprint(cfg.WDM))
+	t.AddRow("Packet Payload Waveguides", fmt.Sprint(photonic.DataWaveguides(cfg.WDM)))
+	t.AddRow("Routing Function", "Dimension-Order")
+	t.AddRow("Packet Control Bits", "70")
+	t.AddRow("Packet Control WDM", "35")
+	t.AddRow("Packet Control Waveguides", "2")
+	t.AddRow("Buffer Entries in NIC", fmt.Sprint(cfg.NICEntries))
+	t.AddRow("Max Hops Per Cycle", "4, 5, or 8")
+	t.AddRow("Node Transmit Arbitration", "Rotating Priority")
+	t.AddRow("Network Path Arbitration", "Fixed Priority")
+	return t
+}
+
+// Table2 renders the electrical baseline parameters (paper Table 2).
+func Table2() *stats.Table {
+	cfg := electrical.DefaultConfig()
+	t := &stats.Table{Title: "Table 2: baseline electrical router", Columns: []string{"parameter", "value"}}
+	t.AddRow("Flits per Packet", "1 (80 Bytes)")
+	t.AddRow("Routing Function", "Dimension-Order")
+	t.AddRow("Number of VCs per Port", fmt.Sprint(cfg.VCs))
+	t.AddRow("Number of Entries per VC", "1")
+	t.AddRow("Wait for Tail Credit", "YES")
+	t.AddRow("VC_Allocator", "ISLIP")
+	t.AddRow("SW_Allocator", "ISLIP")
+	t.AddRow("Total Router Delay", "2 or 3 cycles")
+	t.AddRow("Input Speedup", fmt.Sprint(cfg.InputSpeedup))
+	t.AddRow("Output Speedup", "1")
+	t.AddRow("Buffer Entries in NIC", fmt.Sprint(cfg.NICEntries))
+	return t
+}
+
+// Table3 renders the SPLASH2 benchmarks and input sets (paper Table 3).
+func Table3() *stats.Table {
+	t := &stats.Table{Title: "Table 3: SPLASH2 benchmarks", Columns: []string{"benchmark", "data set"}}
+	for _, p := range coherence.Benchmarks() {
+		t.AddRow(p.Name, p.DataSet)
+	}
+	return t
+}
+
+// Table4 renders the cache and memory parameters (paper Table 4).
+func Table4() *stats.Table {
+	cfg := coherence.DefaultConfig()
+	t := &stats.Table{Title: "Table 4: cache and memory parameters", Columns: []string{"parameter", "value"}}
+	t.AddRow("Simulated Cache Sizes", fmt.Sprintf("%dKB L1I, %dKB L1D, %dKB L2",
+		cfg.L1SizeBytes>>10, cfg.L1SizeBytes>>10, cfg.L2SizeBytes>>10))
+	t.AddRow("Cache Associativity", fmt.Sprintf("%d Way L1, %d Way L2", cfg.L1Ways, cfg.L2Ways))
+	t.AddRow("Block Size", fmt.Sprintf("%dB L1, %dB L2", cfg.L1BlockBytes, cfg.L2BlockBytes))
+	t.AddRow("Memory Latency", fmt.Sprintf("%d cycles", cfg.MemLatency))
+	return t
+}

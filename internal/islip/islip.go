@@ -1,0 +1,115 @@
+// Package islip implements the iSLIP iterative round-robin scheduling
+// algorithm for input-queued switches (McKeown, ToN 1999), used by the
+// electrical baseline router for both virtual-channel and switch allocation
+// (paper Table 2).
+//
+// Each iteration performs a grant phase (every unmatched output grants the
+// requesting input nearest its round-robin pointer) and an accept phase
+// (every input accepts the granting output nearest its pointer, up to its
+// quota). Pointers advance past granted/accepted positions only for matches
+// made in the first iteration, which is what gives iSLIP its desynchronised,
+// starvation-free behaviour.
+package islip
+
+import "fmt"
+
+// Allocator matches inputs to outputs. The zero value is unusable;
+// construct with New. Allocators are stateful: the round-robin pointers
+// persist across Match calls, as in hardware.
+type Allocator struct {
+	inputs, outputs int
+	quota           int // max outputs matched to one input per cycle
+	iterations      int
+	grantPtr        []int // per output, next input to favour
+	acceptPtr       []int // per input, next output to favour
+	// scratch, reused across calls
+	accepted []int // per input, matches this call
+	matchIn  []int // per output, matched input or -1
+}
+
+// New returns an allocator for the given port counts. quota is the input
+// speedup: how many distinct outputs a single input may be matched to in
+// one cycle (1 for classic iSLIP, 4 for the baseline router's input
+// speedup). iterations is the number of grant/accept rounds per cycle.
+func New(inputs, outputs, quota, iterations int) *Allocator {
+	if inputs < 1 || outputs < 1 || quota < 1 || iterations < 1 {
+		panic(fmt.Sprintf("islip: invalid geometry in=%d out=%d quota=%d iter=%d",
+			inputs, outputs, quota, iterations))
+	}
+	return &Allocator{
+		inputs: inputs, outputs: outputs,
+		quota: quota, iterations: iterations,
+		grantPtr:  make([]int, outputs),
+		acceptPtr: make([]int, inputs),
+		accepted:  make([]int, inputs),
+		matchIn:   make([]int, outputs),
+	}
+}
+
+// Match computes a matching for the current request pattern: want(in, out)
+// reports whether input in requests output out. The result maps each output
+// to its matched input, or -1. No output is matched twice; no input is
+// matched more than its quota.
+func (a *Allocator) Match(want func(in, out int) bool) []int {
+	for i := range a.accepted {
+		a.accepted[i] = 0
+	}
+	for o := range a.matchIn {
+		a.matchIn[o] = -1
+	}
+	for iter := 0; iter < a.iterations; iter++ {
+		// Grant phase: each unmatched output picks the first
+		// requesting, non-saturated input at or after its pointer.
+		grants := make(map[int][]int, a.inputs) // input -> outputs granting it
+		granted := false
+		for o := 0; o < a.outputs; o++ {
+			if a.matchIn[o] >= 0 {
+				continue
+			}
+			for k := 0; k < a.inputs; k++ {
+				in := (a.grantPtr[o] + k) % a.inputs
+				if a.accepted[in] >= a.quota || !want(in, o) {
+					continue
+				}
+				grants[in] = append(grants[in], o)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			break
+		}
+		// Accept phase: each input takes the granting outputs
+		// nearest its pointer, up to its remaining quota.
+		for in, outs := range grants {
+			take := a.quota - a.accepted[in]
+			if take > len(outs) {
+				take = len(outs)
+			}
+			for t := 0; t < take; t++ {
+				best, bestDist := -1, a.outputs+1
+				for _, o := range outs {
+					if a.matchIn[o] >= 0 {
+						continue
+					}
+					d := (o - a.acceptPtr[in] + a.outputs) % a.outputs
+					if d < bestDist {
+						best, bestDist = o, d
+					}
+				}
+				if best < 0 {
+					break
+				}
+				a.matchIn[best] = in
+				a.accepted[in]++
+				if iter == 0 {
+					a.grantPtr[best] = (in + 1) % a.inputs
+					a.acceptPtr[in] = (best + 1) % a.outputs
+				}
+			}
+		}
+	}
+	out := make([]int, a.outputs)
+	copy(out, a.matchIn)
+	return out
+}

@@ -1,0 +1,184 @@
+package islip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wantFrom builds a request predicate from a matrix.
+func wantFrom(m [][]bool) func(int, int) bool {
+	return func(in, out int) bool { return m[in][out] }
+}
+
+func TestSingleRequest(t *testing.T) {
+	a := New(4, 4, 1, 1)
+	m := [][]bool{
+		{false, true, false, false},
+		{false, false, false, false},
+		{false, false, false, false},
+		{false, false, false, false},
+	}
+	got := a.Match(wantFrom(m))
+	if got[1] != 0 {
+		t.Fatalf("match = %v, want output 1 -> input 0", got)
+	}
+	for _, o := range []int{0, 2, 3} {
+		if got[o] != -1 {
+			t.Errorf("output %d matched to %d, want -1", o, got[o])
+		}
+	}
+}
+
+func TestFullPermutationMatched(t *testing.T) {
+	// All inputs request all outputs: with enough iterations a maximal
+	// matching (here perfect) must be found.
+	a := New(4, 4, 1, 4)
+	all := func(in, out int) bool { return true }
+	got := a.Match(all)
+	seen := map[int]bool{}
+	for o, in := range got {
+		if in < 0 {
+			t.Fatalf("output %d unmatched in all-request pattern: %v", o, got)
+		}
+		if seen[in] {
+			t.Fatalf("input %d matched twice: %v", in, got)
+		}
+		seen[in] = true
+	}
+}
+
+func TestQuotaRespectedAndUsed(t *testing.T) {
+	// One input requesting all 4 outputs with quota 4 gets all of them.
+	a := New(2, 4, 4, 4)
+	m := [][]bool{
+		{true, true, true, true},
+		{false, false, false, false},
+	}
+	got := a.Match(wantFrom(m))
+	for o, in := range got {
+		if in != 0 {
+			t.Errorf("output %d -> %d, want 0", o, in)
+		}
+	}
+	// Quota 2 limits it.
+	a2 := New(2, 4, 2, 4)
+	got2 := a2.Match(wantFrom(m))
+	count := 0
+	for _, in := range got2 {
+		if in == 0 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("input 0 matched %d times, want quota 2", count)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Two inputs permanently contending for one output should
+	// alternate thanks to the pointer updates.
+	a := New(2, 1, 1, 1)
+	m := [][]bool{{true}, {true}}
+	wins := map[int]int{}
+	for i := 0; i < 100; i++ {
+		got := a.Match(wantFrom(m))
+		wins[got[0]]++
+	}
+	if wins[0] != 50 || wins[1] != 50 {
+		t.Errorf("wins = %v, want perfect alternation 50/50", wins)
+	}
+}
+
+func TestDesynchronisation(t *testing.T) {
+	// The classic iSLIP property: under persistent uniform requests
+	// the pointers desynchronise and throughput reaches 100% (every
+	// output matched every cycle) after a warmup.
+	a := New(4, 4, 1, 1)
+	all := func(in, out int) bool { return true }
+	for i := 0; i < 8; i++ {
+		a.Match(all) // warmup
+	}
+	for i := 0; i < 20; i++ {
+		got := a.Match(all)
+		for o, in := range got {
+			if in < 0 {
+				t.Fatalf("cycle %d: output %d unmatched after desync: %v", i, o, got)
+			}
+		}
+	}
+}
+
+// Property: matchings are always valid - no output double-matched (by
+// construction) and no input exceeds quota; matched pairs were requested.
+func TestMatchingValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(6, 5, 2, 3)
+	for trial := 0; trial < 500; trial++ {
+		m := make([][]bool, 6)
+		for i := range m {
+			m[i] = make([]bool, 5)
+			for j := range m[i] {
+				m[i][j] = rng.Intn(3) == 0
+			}
+		}
+		got := a.Match(wantFrom(m))
+		counts := map[int]int{}
+		for o, in := range got {
+			if in < 0 {
+				continue
+			}
+			if !m[in][o] {
+				t.Fatalf("matched unrequested pair in=%d out=%d", in, o)
+			}
+			counts[in]++
+		}
+		for in, c := range counts {
+			if c > 2 {
+				t.Fatalf("input %d matched %d times, quota 2", in, c)
+			}
+		}
+	}
+}
+
+// Property: iSLIP finds a maximal matching given enough iterations - no
+// (input, output) pair remains where both are unmatched/unsaturated and a
+// request exists.
+func TestMaximalWithIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := New(5, 5, 1, 5)
+	for trial := 0; trial < 300; trial++ {
+		m := make([][]bool, 5)
+		for i := range m {
+			m[i] = make([]bool, 5)
+			for j := range m[i] {
+				m[i][j] = rng.Intn(2) == 0
+			}
+		}
+		got := a.Match(wantFrom(m))
+		matchedIn := map[int]bool{}
+		for _, in := range got {
+			if in >= 0 {
+				matchedIn[in] = true
+			}
+		}
+		for in := 0; in < 5; in++ {
+			if matchedIn[in] {
+				continue
+			}
+			for o := 0; o < 5; o++ {
+				if got[o] == -1 && m[in][o] {
+					t.Fatalf("non-maximal: input %d / output %d both free with request", in, o)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0,...) did not panic")
+		}
+	}()
+	New(0, 4, 1, 1)
+}

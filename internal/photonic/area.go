@@ -1,0 +1,81 @@
+package photonic
+
+import "fmt"
+
+// Router area model (paper Section 3.3, Fig. 8).
+//
+// The WDM degree pulls router area in two directions: more wavelengths per
+// waveguide means fewer waveguides and turn resonators (shrinking the
+// internal crossbar), but each input port must string one resonator/receiver
+// pair per wavelength along its waveguides (stretching the port). The total
+// router footprint is the square of the sum of both spans; the sweet spot
+// for an 80-byte packet falls at 64 wavelengths.
+const (
+	// internalUMPerWaveguide is the crossbar span contributed per
+	// waveguide: pitch, turn resonators, and crossing keep-out.
+	internalUMPerWaveguide = 75.0
+	// portUMPerLambda is the port length contributed per wavelength:
+	// one resonator/receiver pair plus spacing.
+	portUMPerLambda = 7.0
+)
+
+// Tile areas from the Kumar et al. methodology (paper Section 3.3), mm^2.
+const (
+	TileAreaSingleCoreMM2 = 3.5
+	TileAreaDualCoreMM2   = 4.5
+	TileAreaQuadCoreMM2   = 6.5
+)
+
+// RouterArea describes the footprint of one optical router at a WDM degree.
+type RouterArea struct {
+	WDM int
+	// InternalLengthUM is the crossbar span from waveguides and turn
+	// resonators (decreases with WDM).
+	InternalLengthUM float64
+	// PortLengthUM is the length of one input/output port's
+	// resonator/receiver string (increases with WDM).
+	PortLengthUM float64
+	// SpanUM is the router's edge length: internal span plus a port on
+	// either side.
+	SpanUM float64
+	// TotalMM2 is the router footprint.
+	TotalMM2 float64
+}
+
+// AreaAt evaluates the router area model at the given WDM degree.
+func AreaAt(wdm int) RouterArea {
+	if wdm < 1 {
+		panic(fmt.Sprintf("photonic: invalid WDM degree %d", wdm))
+	}
+	a := RouterArea{
+		WDM:              wdm,
+		InternalLengthUM: internalUMPerWaveguide * float64(TotalWaveguides(wdm)),
+		PortLengthUM:     portUMPerLambda * float64(wdm),
+	}
+	a.SpanUM = a.InternalLengthUM + 2*a.PortLengthUM
+	a.TotalMM2 = (a.SpanUM / 1000) * (a.SpanUM / 1000)
+	return a
+}
+
+// FitsTile reports whether the router at the given WDM degree fits under
+// the processor tile of the given area, so the optical die does not force
+// the processor die to grow (paper Section 3.3).
+func FitsTile(wdm int, tileMM2 float64) bool {
+	return AreaAt(wdm).TotalMM2 <= tileMM2
+}
+
+// SweetSpotWDM returns the WDM degree among candidates with the smallest
+// router footprint. With the paper's packet geometry this is 64.
+func SweetSpotWDM(candidates []int) int {
+	if len(candidates) == 0 {
+		panic("photonic: SweetSpotWDM with no candidates")
+	}
+	best := candidates[0]
+	bestArea := AreaAt(best).TotalMM2
+	for _, w := range candidates[1:] {
+		if a := AreaAt(w).TotalMM2; a < bestArea {
+			best, bestArea = w, a
+		}
+	}
+	return best
+}

@@ -1,0 +1,30 @@
+package photonic_test
+
+import (
+	"fmt"
+
+	"phastlane/internal/photonic"
+)
+
+// Example reproduces the paper's headline Fig. 6 result: the number of
+// mesh links a packet can cover in one 4 GHz cycle under each device
+// scaling assumption.
+func Example() {
+	for _, s := range photonic.Scenarios() {
+		fmt.Printf("%s: %d hops\n", s,
+			photonic.MaxHopsPerCycle(s, 64, photonic.DefaultClockGHz))
+	}
+	// Output:
+	// optimistic: 8 hops
+	// average: 5 hops
+	// pessimistic: 4 hops
+}
+
+// ExamplePeakOpticalPowerW evaluates the Fig. 7 peak-power model at the
+// paper's chosen operating point.
+func ExamplePeakOpticalPowerW() {
+	w := photonic.PeakOpticalPowerW(64, 4, 0.98)
+	fmt.Printf("within budget: %v\n", w < 40)
+	// Output:
+	// within budget: true
+}

@@ -1,0 +1,97 @@
+package photonic
+
+import (
+	"fmt"
+
+	"phastlane/internal/packet"
+)
+
+// CriticalPaths holds the delays of the four internal router operations the
+// paper analyses (Fig. 5), in picoseconds.
+type CriticalPaths struct {
+	// PacketPass: a packet passes to an output port, first forcing any
+	// contending lower-priority packets to be received at their input
+	// ports: receive control bits, drive the blockers' C0 Group-1
+	// resonators, those drive the blockers' receive resonators, then
+	// traverse the remainder of the switch.
+	PacketPass float64
+	// PacketBlock: as PacketPass, but the switch traversal is replaced
+	// by receiving the blocked packet.
+	PacketBlock float64
+	// PacketAccept: the packet is accepted at its destination: receive
+	// control, drive the receive resonators, receive the packet.
+	PacketAccept float64
+	// PacketInterimAccept: as PacketAccept at an interim node, plus the
+	// latch that arms the relaunch.
+	PacketInterimAccept float64
+}
+
+// interimLatchPs is the extra write-enable latch delay of an interim
+// accept over a destination accept.
+const interimLatchPs = 0.5
+
+// resonatorLoadPsPerLambda models the added drive delay from the larger
+// ring-loading of ports with more resonator/receiver pairs per waveguide.
+// It is deliberately tiny: the paper observes that the number of
+// wavelengths has little impact on delay (Fig. 5).
+const resonatorLoadPsPerLambda = 0.004
+
+// Paths returns the four critical-path delays for scenario s with the given
+// payload WDM degree.
+func Paths(s Scenario, wdm int) CriticalPaths {
+	d := Delays16(s)
+	drive := d.ResonatorDrivePs + resonatorLoadPsPerLambda*float64(wdm)
+	// Control-bit receive + the two chained resonator drives shared by
+	// the pass and block paths.
+	control := d.ReceivePs + 2*drive
+	traverse := RouterSpanMM * WaveguidePsPerMM
+	return CriticalPaths{
+		PacketPass:          control + traverse,
+		PacketBlock:         control + d.ReceivePs,
+		PacketAccept:        d.ReceivePs + drive + d.ReceivePs,
+		PacketInterimAccept: d.ReceivePs + drive + d.ReceivePs + interimLatchPs,
+	}
+}
+
+// LinkPropagationPs is the inter-router waveguide delay per hop, excluding
+// the in-router span already charged to PacketPass.
+func LinkPropagationPs() float64 {
+	return (TilePitchMM - RouterSpanMM) * WaveguidePsPerMM
+}
+
+// MaxHopsPerCycle returns the largest number of links a packet can traverse
+// in one clock cycle at clockGHz under scenario s with the given WDM degree,
+// accounting for the worst case of contention at every router and late
+// arrival relative to competing packets (paper Section 3.1): with X routers
+// between source and destination there are X PacketPass delays and X+1 link
+// propagations, plus the source modulator drive, the destination
+// PacketAccept, and register/skew overhead.
+func MaxHopsPerCycle(s Scenario, wdm int, clockGHz float64) int {
+	if clockGHz <= 0 {
+		panic(fmt.Sprintf("photonic: non-positive clock %v GHz", clockGHz))
+	}
+	budget := 1000.0 / clockGHz // ps per cycle
+	d := Delays16(s)
+	cp := Paths(s, wdm)
+	hops := 0
+	for x := 0; ; x++ {
+		total := float64(x)*cp.PacketPass +
+			float64(x+1)*LinkPropagationPs() +
+			d.TransmitPs + cp.PacketAccept + RegisterSkewPs
+		if total > budget {
+			return hops
+		}
+		hops = x + 1
+	}
+}
+
+// HopsByScenario returns the per-cycle hop limits at the paper's operating
+// point (64-way WDM, 4 GHz): 8, 5 and 4 for optimistic, average and
+// pessimistic scaling.
+func HopsByScenario() map[Scenario]int {
+	out := make(map[Scenario]int, NumScenarios)
+	for _, s := range Scenarios() {
+		out[s] = MaxHopsPerCycle(s, packet.PayloadWDM, DefaultClockGHz)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link-budget model: the peak-power analysis of Fig. 7 aggregates all
+// losses into a single "crossing efficiency". This file decomposes the
+// optical path into its published per-component insertion losses so the
+// aggregate can be cross-checked against device numbers (Bogaerts et al.
+// for crossings, ring drop/through losses, coupler and bend losses) and so
+// the wall-plug laser power - what the chip actually draws - can be derived
+// from the in-waveguide optical power.
+
+// LossBudget itemises the insertion losses of one worst-case packet path,
+// in decibels (positive numbers are losses).
+type LossBudget struct {
+	// CouplerDB is the laser-to-chip coupling loss, paid once.
+	CouplerDB float64
+	// CrossingDB is per waveguide crossing.
+	CrossingDB float64
+	// ThroughRingDB is per off-resonance ring passed.
+	ThroughRingDB float64
+	// DropRingDB is the on-resonance drop (turn) loss, per turn.
+	DropRingDB float64
+	// BendDB is per 90-degree waveguide bend.
+	BendDB float64
+	// PropagationDBPerMM is the waveguide attenuation.
+	PropagationDBPerMM float64
+	// ReceiverPenaltyDB is margin for detector non-idealities.
+	ReceiverPenaltyDB float64
+}
+
+// DefaultLossBudget returns 16 nm-era component losses from the
+// literature the paper cites: ~0.09 dB/crossing (matching the 98% crossing
+// efficiency operating point), low-loss SOI propagation, and sub-0.1 dB
+// through-ring losses.
+func DefaultLossBudget() LossBudget {
+	return LossBudget{
+		CouplerDB:          1.0,
+		CrossingDB:         EfficiencyToDB(0.98),
+		ThroughRingDB:      0.01,
+		DropRingDB:         0.5,
+		BendDB:             0.02,
+		PropagationDBPerMM: 0.10,
+		ReceiverPenaltyDB:  1.0,
+	}
+}
+
+// EfficiencyToDB converts a per-element power efficiency to dB loss.
+func EfficiencyToDB(eff float64) float64 {
+	if eff <= 0 || eff > 1 {
+		panic(fmt.Sprintf("photonic: efficiency %v out of (0,1]", eff))
+	}
+	return -10 * math.Log10(eff)
+}
+
+// DBToEfficiency converts a dB loss to a power efficiency.
+func DBToEfficiency(db float64) float64 { return math.Pow(10, -db/10) }
+
+// PathLoss describes one end-to-end worst-case packet path through the
+// Phastlane mesh for budgeting purposes.
+type PathLoss struct {
+	Links     int // inter-router links traversed
+	Crossings int // waveguide crossings inside routers
+	Turns     int // drop-ring turns
+	Taps      int // multicast taps (power extraction)
+	ThruRings int // off-resonance rings passed
+	LengthMM  float64
+}
+
+// WorstCasePath builds the Fig. 7 worst case for a given WDM degree and
+// per-cycle hop budget: every router crossed contributes its crossbar
+// crossings, one turn, a multicast tap, and the ring loading of its ports.
+func WorstCasePath(wdm, maxHops int) PathLoss {
+	if maxHops < 1 {
+		panic(fmt.Sprintf("photonic: maxHops %d", maxHops))
+	}
+	return PathLoss{
+		Links:     maxHops,
+		Crossings: maxHops * CrossingsPerRouter(wdm),
+		Turns:     1, // dimension-order: at most one turn per journey
+		Taps:      maxHops - 1,
+		ThruRings: maxHops * wdm, // each port's resonator string
+		LengthMM:  float64(maxHops) * TilePitchMM,
+	}
+}
+
+// TotalDB sums the path's losses under the budget, excluding the multicast
+// taps (which are a designed power split, not a loss, and are handled by
+// MulticastTapFraction).
+func (b LossBudget) TotalDB(p PathLoss) float64 {
+	return b.CouplerDB +
+		float64(p.Crossings)*b.CrossingDB +
+		float64(p.Turns)*b.DropRingDB +
+		float64(p.ThruRings)*b.ThroughRingDB +
+		p.LengthMM*b.PropagationDBPerMM +
+		b.ReceiverPenaltyDB
+}
+
+// RequiredLaserPowerMW returns the per-wavelength laser output needed to
+// meet receiver sensitivity over the path, including the multicast tap
+// splits.
+func (b LossBudget) RequiredLaserPowerMW(p PathLoss) float64 {
+	eff := DBToEfficiency(b.TotalDB(p))
+	for i := 0; i < p.Taps; i++ {
+		eff *= 1 - MulticastTapFraction
+	}
+	return ReceiverSensitivityMW / eff
+}
+
+// WallPlugPowerW converts in-waveguide optical power to electrical power at
+// the laser, using the wall-plug efficiency of the hybrid silicon lasers
+// the paper's infrastructure assumes.
+func WallPlugPowerW(opticalW float64) float64 {
+	const wallPlugEfficiency = 0.15
+	return opticalW / wallPlugEfficiency
+}
+
+// BudgetConsistentWithFig7 cross-checks the itemised budget against the
+// aggregate crossing-efficiency model: with crossings dominating, the two
+// must agree within a small factor. It returns the ratio
+// (itemised / aggregate) of required per-wavelength powers.
+func BudgetConsistentWithFig7(wdm, maxHops int, crossingEff float64) float64 {
+	b := DefaultLossBudget()
+	b.CrossingDB = EfficiencyToDB(crossingEff)
+	itemised := b.RequiredLaserPowerMW(WorstCasePath(wdm, maxHops))
+	aggregate := RequiredInputPowerMW(wdm, maxHops, crossingEff)
+	return itemised / aggregate
+}

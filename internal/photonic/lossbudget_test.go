@@ -1,0 +1,99 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEfficiencyDBRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		eff := 0.5 + float64(raw)/512 // (0.5, 1.0)
+		back := DBToEfficiency(EfficiencyToDB(eff))
+		return math.Abs(back-eff) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := EfficiencyToDB(1.0); got != 0 {
+		t.Errorf("lossless element has %v dB", got)
+	}
+	// 50% efficiency is the textbook ~3.01 dB.
+	if got := EfficiencyToDB(0.5); math.Abs(got-3.0103) > 0.001 {
+		t.Errorf("half power = %v dB, want ~3.01", got)
+	}
+}
+
+func TestEfficiencyToDBPanics(t *testing.T) {
+	for _, bad := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EfficiencyToDB(%v) did not panic", bad)
+				}
+			}()
+			EfficiencyToDB(bad)
+		}()
+	}
+}
+
+func TestWorstCasePathScales(t *testing.T) {
+	p4 := WorstCasePath(64, 4)
+	p8 := WorstCasePath(64, 8)
+	if p8.Crossings != 2*p4.Crossings {
+		t.Errorf("crossings %d vs %d: not linear in hops", p4.Crossings, p8.Crossings)
+	}
+	if p4.Turns != 1 {
+		t.Errorf("dimension-order path has %d turns, want 1", p4.Turns)
+	}
+	if p8.Taps != 7 || p4.Taps != 3 {
+		t.Errorf("taps = %d/%d, want 3/7", p4.Taps, p8.Taps)
+	}
+	if p4.LengthMM != 4*TilePitchMM {
+		t.Errorf("path length %v", p4.LengthMM)
+	}
+}
+
+func TestTotalDBMonotoneInPath(t *testing.T) {
+	b := DefaultLossBudget()
+	small := WorstCasePath(64, 2)
+	big := WorstCasePath(64, 6)
+	if b.TotalDB(big) <= b.TotalDB(small) {
+		t.Error("longer path should lose more")
+	}
+	if b.TotalDB(small) <= b.CouplerDB+b.ReceiverPenaltyDB {
+		t.Error("path losses missing")
+	}
+}
+
+func TestRequiredLaserPowerIncludesTaps(t *testing.T) {
+	b := DefaultLossBudget()
+	p := WorstCasePath(64, 4)
+	withTaps := b.RequiredLaserPowerMW(p)
+	p.Taps = 0
+	without := b.RequiredLaserPowerMW(p)
+	if withTaps <= without {
+		t.Error("multicast taps should raise required power")
+	}
+}
+
+// The itemised dB budget and the aggregate Fig. 7 crossing-efficiency model
+// must agree on required power within a small factor (the itemised model
+// adds coupler/ring/propagation terms the aggregate folds into margin).
+func TestBudgetConsistentWithFig7(t *testing.T) {
+	for _, wdm := range []int{32, 64, 128} {
+		for _, hops := range []int{2, 4, 5} {
+			ratio := BudgetConsistentWithFig7(wdm, hops, 0.98)
+			if ratio < 0.8 || ratio > 12 {
+				t.Errorf("wdm %d hops %d: itemised/aggregate power ratio %.2f out of band",
+					wdm, hops, ratio)
+			}
+		}
+	}
+}
+
+func TestWallPlugPower(t *testing.T) {
+	if got := WallPlugPowerW(15); math.Abs(got-100) > 1 {
+		t.Errorf("15 W optical -> %v W wall-plug, want ~100 (15%% efficiency)", got)
+	}
+}

@@ -1,0 +1,306 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// Fig. 4: the 16 nm endpoints must match the published ranges exactly.
+func TestFig4Endpoints(t *testing.T) {
+	cases := []struct {
+		s        Scenario
+		tx, rx   float64
+		txTol    float64
+		scenario string
+	}{
+		{Optimistic, 8.0, 1.8, 1e-9, "optimistic"},
+		{Average, 13.0, 2.7, 1e-9, "average"},
+		{Pessimistic, 19.4, 3.7, 1e-9, "pessimistic"},
+	}
+	for _, tc := range cases {
+		d := Delays16(tc.s)
+		if !almost(d.TransmitPs, tc.tx, tc.txTol) {
+			t.Errorf("%s transmit = %.2f ps, want %.2f", tc.scenario, d.TransmitPs, tc.tx)
+		}
+		if !almost(d.ReceivePs, tc.rx, tc.txTol) {
+			t.Errorf("%s receive = %.2f ps, want %.2f", tc.scenario, d.ReceivePs, tc.rx)
+		}
+	}
+}
+
+// All three curves share the 45 nm anchor.
+func TestFig4SharedAnchor(t *testing.T) {
+	for _, s := range Scenarios() {
+		d := DelaysAt(s, 45)
+		if !almost(d.TransmitPs, transmit45Ps, 1e-9) {
+			t.Errorf("%s transmit at 45nm = %.2f, want %.2f", s, d.TransmitPs, transmit45Ps)
+		}
+		if !almost(d.ReceivePs, receive45Ps, 1e-9) {
+			t.Errorf("%s receive at 45nm = %.2f, want %.2f", s, d.ReceivePs, receive45Ps)
+		}
+	}
+}
+
+// Delays shrink monotonically as the node scales down, and the scenarios
+// order optimistic <= average <= pessimistic at every node below 45 nm.
+func TestFig4Monotonicity(t *testing.T) {
+	for _, s := range Scenarios() {
+		prev := math.Inf(1)
+		for node := 45.0; node >= 16; node -= 1 {
+			d := DelaysAt(s, node)
+			if d.TransmitPs > prev+1e-9 {
+				t.Fatalf("%s transmit not monotone at %v nm", s, node)
+			}
+			prev = d.TransmitPs
+		}
+	}
+	// The three fits agree over the measured 45-22 nm region and only
+	// diverge in the extrapolation below it, so scenario ordering is
+	// checked in the extrapolated region only.
+	for node := 16.0; node <= 22; node += 0.5 {
+		o, a, p := DelaysAt(Optimistic, node), DelaysAt(Average, node), DelaysAt(Pessimistic, node)
+		if o.TransmitPs > a.TransmitPs+1e-9 || a.TransmitPs > p.TransmitPs+1e-9 {
+			t.Fatalf("scenario ordering violated at %v nm: %v %v %v",
+				node, o.TransmitPs, a.TransmitPs, p.TransmitPs)
+		}
+	}
+}
+
+// Fig. 5: ordering of the critical paths - accepting is fastest, passing is
+// slowest - and WDM degree has little impact.
+func TestFig5CriticalPathOrdering(t *testing.T) {
+	for _, s := range Scenarios() {
+		for _, wdm := range []int{32, 64, 128} {
+			cp := Paths(s, wdm)
+			if !(cp.PacketAccept < cp.PacketBlock) {
+				t.Errorf("%s/%dλ: PA %.1f !< PB %.1f", s, wdm, cp.PacketAccept, cp.PacketBlock)
+			}
+			if !(cp.PacketBlock < cp.PacketPass) {
+				t.Errorf("%s/%dλ: PB %.1f !< PP %.1f", s, wdm, cp.PacketBlock, cp.PacketPass)
+			}
+			if cp.PacketInterimAccept <= cp.PacketAccept {
+				t.Errorf("%s/%dλ: PIA %.1f <= PA %.1f", s, wdm, cp.PacketInterimAccept, cp.PacketAccept)
+			}
+		}
+		// Little impact: quadrupling WDM moves PP by well under 10%.
+		lo, hi := Paths(s, 32).PacketPass, Paths(s, 128).PacketPass
+		if (hi-lo)/lo > 0.10 {
+			t.Errorf("%s: PP moves %.1f%% from 32λ to 128λ, want <10%%", s, 100*(hi-lo)/lo)
+		}
+	}
+}
+
+// Fig. 5: resonator drive dominates the pass path for the average and
+// pessimistic scenarios.
+func TestFig5ResonatorDriveDominates(t *testing.T) {
+	for _, s := range []Scenario{Average, Pessimistic} {
+		d := Delays16(s)
+		cp := Paths(s, 64)
+		if 2*d.ResonatorDrivePs < cp.PacketPass/2 {
+			t.Errorf("%s: resonator drive %.1f ps is not the dominant share of PP %.1f ps",
+				s, 2*d.ResonatorDrivePs, cp.PacketPass)
+		}
+	}
+}
+
+// Fig. 6: the headline hop counts - 8, 5 and 4 at 4 GHz - for every WDM
+// degree the paper sweeps.
+func TestFig6MaxHops(t *testing.T) {
+	want := map[Scenario]int{Optimistic: 8, Average: 5, Pessimistic: 4}
+	for _, s := range Scenarios() {
+		for _, wdm := range []int{32, 64, 128} {
+			if got := MaxHopsPerCycle(s, wdm, DefaultClockGHz); got != want[s] {
+				t.Errorf("MaxHopsPerCycle(%s, %dλ) = %d, want %d", s, wdm, got, want[s])
+			}
+		}
+	}
+	hops := HopsByScenario()
+	for s, w := range want {
+		if hops[s] != w {
+			t.Errorf("HopsByScenario[%s] = %d, want %d", s, hops[s], w)
+		}
+	}
+}
+
+// Slower clocks allow more hops per cycle; a fast enough clock allows none.
+func TestMaxHopsClockScaling(t *testing.T) {
+	at4 := MaxHopsPerCycle(Average, 64, 4)
+	at2 := MaxHopsPerCycle(Average, 64, 2)
+	if at2 <= at4 {
+		t.Errorf("halving the clock should raise hop count: %d !> %d", at2, at4)
+	}
+	if got := MaxHopsPerCycle(Average, 64, 40); got != 0 {
+		t.Errorf("40 GHz should allow 0 hops, got %d", got)
+	}
+}
+
+// Fig. 7 calibration anchors from the paper's text.
+func TestFig7PowerAnchors(t *testing.T) {
+	// 64λ, 4 hops, 98% crossing efficiency => ~32 W.
+	if p := PeakOpticalPowerW(64, 4, 0.98); !almost(p, 32, 5) {
+		t.Errorf("64λ/4hop/98%% = %.1f W, want ~32", p)
+	}
+	// 128λ, 4 hops, 98% => ~15 W.
+	if p := PeakOpticalPowerW(128, 4, 0.98); !almost(p, 15, 3) {
+		t.Errorf("128λ/4hop/98%% = %.1f W, want ~15", p)
+	}
+	// 128λ, 5 hops, 98% => ~32 W (same budget buys one more hop).
+	if p := PeakOpticalPowerW(128, 5, 0.98); !almost(p, 32, 6) {
+		t.Errorf("128λ/5hop/98%% = %.1f W, want ~32", p)
+	}
+	// 32λ at 98% and 4 hops is impractical (far above 32 W)...
+	if p := PeakOpticalPowerW(32, 4, 0.98); p < 100 {
+		t.Errorf("32λ/4hop/98%% = %.1f W, want impractically high (>100)", p)
+	}
+	// ...but 99% efficiency or a 2-hop limit brings it back down.
+	if p := PeakOpticalPowerW(32, 4, 0.99); p > 40 {
+		t.Errorf("32λ/4hop/99%% = %.1f W, want reasonable (<40)", p)
+	}
+	if p := PeakOpticalPowerW(32, 2, 0.98); p > 40 {
+		t.Errorf("32λ/2hop/98%% = %.1f W, want reasonable (<40)", p)
+	}
+}
+
+// Peak power grows with hops and shrinks with crossing efficiency.
+func TestFig7Monotonicity(t *testing.T) {
+	f := func(wdmSel, hopSel uint8) bool {
+		wdms := []int{32, 64, 128}
+		wdm := wdms[int(wdmSel)%len(wdms)]
+		hops := 2 + int(hopSel)%6
+		base := PeakOpticalPowerW(wdm, hops, 0.98)
+		return PeakOpticalPowerW(wdm, hops+1, 0.98) > base &&
+			PeakOpticalPowerW(wdm, hops, 0.99) < base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaveguideCounts(t *testing.T) {
+	// Table 1: 10 payload waveguides at 64-way WDM.
+	if got := DataWaveguides(64); got != 10 {
+		t.Errorf("DataWaveguides(64) = %d, want 10", got)
+	}
+	if got := TotalWaveguides(64); got != 12 {
+		t.Errorf("TotalWaveguides(64) = %d, want 12", got)
+	}
+	if got := DataWaveguides(128); got != 5 {
+		t.Errorf("DataWaveguides(128) = %d, want 5", got)
+	}
+	if got := DataWaveguides(32); got != 20 {
+		t.Errorf("DataWaveguides(32) = %d, want 20", got)
+	}
+	// λ per packet is constant across WDM (fixed bit count).
+	if LambdasPerPacket(32) != LambdasPerPacket(64) || LambdasPerPacket(64) != LambdasPerPacket(128) {
+		t.Error("LambdasPerPacket should be WDM-independent for full waveguides")
+	}
+	if got := LambdasPerPacket(64); got != 710 {
+		t.Errorf("LambdasPerPacket(64) = %d, want 710", got)
+	}
+}
+
+func TestPathEfficiencyBounds(t *testing.T) {
+	f := func(hopSel, wdmSel uint8) bool {
+		wdms := []int{16, 32, 64, 128, 256}
+		e := PathEfficiency(wdms[int(wdmSel)%len(wdms)], 1+int(hopSel)%8, 0.985)
+		return e > 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fig. 8: 64λ is the area sweet spot; the paper's tile-fit statements hold.
+func TestFig8AreaSweetSpot(t *testing.T) {
+	candidates := []int{16, 32, 64, 128, 256}
+	if got := SweetSpotWDM(candidates); got != 64 {
+		for _, w := range candidates {
+			t.Logf("area(%dλ) = %.2f mm²", w, AreaAt(w).TotalMM2)
+		}
+		t.Fatalf("SweetSpotWDM = %d, want 64", got)
+	}
+	if !FitsTile(64, TileAreaSingleCoreMM2) {
+		t.Errorf("64λ router (%.2f mm²) should fit the 3.5 mm² single-core tile", AreaAt(64).TotalMM2)
+	}
+	if FitsTile(32, TileAreaSingleCoreMM2) {
+		t.Errorf("32λ router (%.2f mm²) should NOT fit the single-core tile", AreaAt(32).TotalMM2)
+	}
+	if !FitsTile(32, TileAreaDualCoreMM2) {
+		t.Errorf("32λ router (%.2f mm²) should fit the 4.5 mm² dual-core tile", AreaAt(32).TotalMM2)
+	}
+	if !FitsTile(128, TileAreaQuadCoreMM2) {
+		t.Errorf("128λ router (%.2f mm²) should fit the 6.5 mm² quad-core tile", AreaAt(128).TotalMM2)
+	}
+}
+
+// Fig. 8 component trends: internal length falls with WDM, port length
+// rises linearly.
+func TestFig8ComponentTrends(t *testing.T) {
+	prev := AreaAt(16)
+	for _, wdm := range []int{32, 64, 128, 256} {
+		cur := AreaAt(wdm)
+		if cur.InternalLengthUM > prev.InternalLengthUM {
+			t.Errorf("internal length rose from %dλ to %dλ", prev.WDM, wdm)
+		}
+		if cur.PortLengthUM <= prev.PortLengthUM {
+			t.Errorf("port length did not rise from %dλ to %dλ", prev.WDM, wdm)
+		}
+		prev = cur
+	}
+	// Port length linear in WDM.
+	if got, want := AreaAt(128).PortLengthUM, 2*AreaAt(64).PortLengthUM; !almost(got, want, 1e-9) {
+		t.Errorf("port length not linear: %v vs %v", got, want)
+	}
+}
+
+func TestTransmissionEnergyGrowsWithProvisionedHops(t *testing.T) {
+	e4 := TransmissionEnergyPJ(64, 4, 0.98)
+	e5 := TransmissionEnergyPJ(64, 5, 0.98)
+	e8 := TransmissionEnergyPJ(64, 8, 0.98)
+	if !(e4 < e5 && e5 < e8) {
+		t.Errorf("transmission energy should grow with provisioned hops: %v %v %v", e4, e5, e8)
+	}
+	// The 8-hop network is markedly (several times) more expensive per
+	// transmission than the 4-hop one - the Fig. 11 effect.
+	if e8/e4 < 2 {
+		t.Errorf("8-hop/4-hop energy ratio %.2f, want >= 2", e8/e4)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("DataWaveguides(0)", func() { DataWaveguides(0) })
+	mustPanic("PathEfficiency eff>1", func() { PathEfficiency(64, 4, 1.5) })
+	mustPanic("PathEfficiency hops<1", func() { PathEfficiency(64, 0, 0.98) })
+	mustPanic("MaxHopsPerCycle clock<=0", func() { MaxHopsPerCycle(Average, 64, 0) })
+	mustPanic("AreaAt(0)", func() { AreaAt(0) })
+	mustPanic("SweetSpotWDM empty", func() { SweetSpotWDM(nil) })
+}
+
+func TestContourGrid(t *testing.T) {
+	pts := Contour([]int{32, 64}, []int{2, 4}, []float64{0.98, 0.99})
+	if len(pts) != 8 {
+		t.Fatalf("contour has %d points, want 8", len(pts))
+	}
+	for _, p := range pts {
+		if p.PowerW <= 0 {
+			t.Errorf("non-positive power at %+v", p)
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Optimistic.String() != "optimistic" || Scenario(9).String() == "" {
+		t.Error("Scenario.String wrong")
+	}
+}

@@ -1,0 +1,136 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+
+	"phastlane/internal/packet"
+)
+
+// Optical power model (paper Section 3.2, Fig. 7).
+//
+// The per-wavelength laser input power must be large enough that, after
+// every waveguide crossing on the longest single-cycle path and after every
+// multicast tap extracts its share, the remaining power still meets the
+// receiver sensitivity. Fewer wavelengths mean more waveguides, more
+// crossings inside each router crossbar, and exponentially more loss.
+const (
+	// ReceiverSensitivityMW is the minimum detectable per-wavelength
+	// power at the receiver.
+	ReceiverSensitivityMW = 0.010
+	// MulticastTapFraction is the share of power a broadcast
+	// resonator/receiver extracts at each multicast router while the
+	// packet continues.
+	MulticastTapFraction = 0.28
+	// ReturnPathPowerMW is the per-router budget for the seven-bit drop
+	// return path, charged when every return path is active.
+	ReturnPathPowerMW = 2.0
+)
+
+// DataWaveguides returns the number of payload waveguides needed to carry
+// the 640 packet payload bits at the given WDM degree.
+func DataWaveguides(wdm int) int {
+	if wdm < 1 {
+		panic(fmt.Sprintf("photonic: invalid WDM degree %d", wdm))
+	}
+	return (packet.PayloadBits + wdm - 1) / wdm
+}
+
+// TotalWaveguides returns payload plus the two control waveguides.
+func TotalWaveguides(wdm int) int {
+	return DataWaveguides(wdm) + packet.ControlWaveguides
+}
+
+// CrossingsPerRouter returns the number of waveguide crossings a packet's
+// waveguides suffer traversing one router: inside the crossbar each
+// waveguide crosses the perpendicular waveguides of both transverse ports.
+func CrossingsPerRouter(wdm int) int {
+	return 2 * TotalWaveguides(wdm)
+}
+
+// LambdasPerPacket returns the number of simultaneously lit wavelengths a
+// packet occupies: payload waveguides at the WDM degree, plus the 70
+// control bits. It is nearly constant across WDM degrees because the bit
+// count is fixed.
+func LambdasPerPacket(wdm int) int {
+	return DataWaveguides(wdm)*wdm + packet.ControlWaveguides*packet.ControlWDM
+}
+
+// PathEfficiency returns the fraction of injected per-wavelength power that
+// survives a worst-case maxHops-link transmission: crossing losses at every
+// router traversed plus multicast tap extraction at the intermediate
+// routers (the final router receives what remains).
+func PathEfficiency(wdm, maxHops int, crossingEff float64) float64 {
+	if crossingEff <= 0 || crossingEff > 1 {
+		panic(fmt.Sprintf("photonic: crossing efficiency %v out of (0,1]", crossingEff))
+	}
+	if maxHops < 1 {
+		panic(fmt.Sprintf("photonic: maxHops %d < 1", maxHops))
+	}
+	crossings := maxHops * CrossingsPerRouter(wdm)
+	taps := maxHops - 1
+	return math.Pow(crossingEff, float64(crossings)) *
+		math.Pow(1-MulticastTapFraction, float64(taps))
+}
+
+// RequiredInputPowerMW returns the per-wavelength laser power needed so the
+// worst-case path still meets receiver sensitivity.
+func RequiredInputPowerMW(wdm, maxHops int, crossingEff float64) float64 {
+	return ReceiverSensitivityMW / PathEfficiency(wdm, maxHops, crossingEff)
+}
+
+// PeakOpticalPowerW returns the chip-wide peak optical input power in watts
+// for an 8x8 network: the worst single cycle has every input port of every
+// router receiving a turning multicast packet from its nearest neighbour
+// while all drop return paths signal (paper Section 3.2).
+func PeakOpticalPowerW(wdm, maxHops int, crossingEff float64) float64 {
+	return PeakOpticalPowerWFor(64, wdm, maxHops, crossingEff)
+}
+
+// PeakOpticalPowerWFor is PeakOpticalPowerW for an arbitrary router count.
+func PeakOpticalPowerWFor(routers, wdm, maxHops int, crossingEff float64) float64 {
+	perLambdaMW := RequiredInputPowerMW(wdm, maxHops, crossingEff)
+	activeLambdas := float64(routers) * 4 * float64(LambdasPerPacket(wdm))
+	returnMW := float64(routers) * ReturnPathPowerMW
+	return (activeLambdas*perLambdaMW + returnMW) / 1000.0
+}
+
+// PowerContour evaluates PeakOpticalPowerW over a grid for Fig. 7: one row
+// per (wdm, maxHops) pair, one column per crossing efficiency.
+type ContourPoint struct {
+	WDM         int
+	MaxHops     int
+	CrossingEff float64
+	PowerW      float64
+}
+
+// Contour sweeps the peak-power model over the given axes.
+func Contour(wdms, hops []int, effs []float64) []ContourPoint {
+	var pts []ContourPoint
+	for _, w := range wdms {
+		for _, h := range hops {
+			for _, e := range effs {
+				pts = append(pts, ContourPoint{
+					WDM: w, MaxHops: h, CrossingEff: e,
+					PowerW: PeakOpticalPowerW(w, h, e),
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// TransmissionEnergyPJ estimates the optical energy spent by one packet
+// transmission attempt that covers the given number of links, under a
+// network provisioned for maxHops links per cycle at the given crossing
+// efficiency. The laser runs at the worst-case provisioned power for the
+// cycle (one 250 ps slot at 4 GHz) on the packet's wavelengths; this is
+// what makes the 8-hop configuration markedly more power-hungry than the
+// 4-hop one even for identical traffic (paper Fig. 11).
+func TransmissionEnergyPJ(wdm, maxHops int, crossingEff float64) float64 {
+	perLambdaMW := RequiredInputPowerMW(wdm, maxHops, crossingEff)
+	lambdas := float64(LambdasPerPacket(wdm))
+	cycleNS := 1.0 / DefaultClockGHz
+	// mW * ns = pJ.
+	return perLambdaMW * lambdas * cycleNS
+}

@@ -1,0 +1,141 @@
+// Package photonic models the optical device physics behind the Phastlane
+// router: technology-scaling trends for transmit/receive delays (Fig. 4),
+// router critical-path delays (Fig. 5), the number of hops traversable in a
+// 4 GHz cycle (Fig. 6), peak optical input power (Fig. 7), and router area
+// (Fig. 8).
+//
+// The paper derives its 16 nm numbers by curve-fitting the 45-to-22 nm
+// component analysis of Kirman et al. with logarithmic (optimistic), linear
+// (average) and exponential (pessimistic) extrapolations. We reproduce the
+// published 16 nm endpoints exactly - transmit 8.0/13.0/19.4 ps, receive
+// 1.8/2.7/3.7 ps, waveguide propagation fixed at 10.45 ps/mm - and anchor
+// the fits at the same 45 nm starting point so the intermediate nodes trace
+// the same three curve shapes.
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scenario selects a device-delay scaling assumption for 16 nm.
+type Scenario int
+
+// Scaling scenarios (paper Section 3.1). Average is the paper's default.
+const (
+	Optimistic Scenario = iota
+	Average
+	Pessimistic
+	NumScenarios
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case Optimistic:
+		return "optimistic"
+	case Average:
+		return "average"
+	case Pessimistic:
+		return "pessimistic"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Scenarios lists all three scaling assumptions in paper order.
+func Scenarios() []Scenario { return []Scenario{Optimistic, Average, Pessimistic} }
+
+// Physical constants shared by all models.
+const (
+	// WaveguidePsPerMM is the on-chip waveguide propagation delay,
+	// assumed constant across technology nodes (paper Section 3.1,
+	// after Kirman et al.).
+	WaveguidePsPerMM = 10.45
+	// TilePitchMM is the center-to-center router spacing of the 8x8
+	// mesh: 64 single-core tiles of ~3.5 mm^2 plus wiring overhead.
+	TilePitchMM = 2.0
+	// RouterSpanMM is the optical-switch internal traversal distance,
+	// already included in TilePitchMM; the remainder is inter-router
+	// waveguide.
+	RouterSpanMM = 0.9
+	// RegisterSkewPs is register overhead plus clock skew charged once
+	// per clock cycle of transmission (paper Section 3.1).
+	RegisterSkewPs = 12.0
+	// DefaultClockGHz is the processor and network clock.
+	DefaultClockGHz = 4.0
+)
+
+// anchor45nm holds the 45 nm starting points for the curve fits. The
+// absolute values follow the aggregate transmit (modulator driver +
+// modulation) and receive (detector + amplifier) delays of the Kirman et
+// al. analysis.
+const (
+	transmit45Ps  = 38.0
+	receive45Ps   = 7.3
+	resonator45Ps = 26.0
+)
+
+// target16nm holds the published 16 nm endpoints per scenario.
+var (
+	transmit16Ps  = [NumScenarios]float64{8.0, 13.0, 19.4}
+	receive16Ps   = [NumScenarios]float64{1.8, 2.7, 3.7}
+	resonator16Ps = [NumScenarios]float64{2.5, 9.0, 12.5}
+)
+
+// DeviceDelays aggregates the optical component delays at one technology
+// node under one scaling scenario. All values are picoseconds.
+type DeviceDelays struct {
+	// TransmitPs is the end-to-end transmit delay: modulator driver
+	// plus electro-optic modulation.
+	TransmitPs float64
+	// ReceivePs is the end-to-end receive delay: detection plus
+	// amplification to a digital level.
+	ReceivePs float64
+	// ResonatorDrivePs is the time to charge a ring resonator's driver
+	// to switch it on or off resonance; it dominates the router's
+	// critical paths (paper Fig. 5).
+	ResonatorDrivePs float64
+}
+
+// DelaysAt returns the device delays at the given technology node
+// (nanometres, 16..45) under scenario s. The three scenarios interpolate
+// between the shared 45 nm anchor and their 16 nm endpoints with
+// logarithmic, linear, and exponential shapes respectively, mirroring the
+// paper's curve fits. Nodes outside [16, 45] extrapolate along the same
+// curves.
+func DelaysAt(s Scenario, nodeNM float64) DeviceDelays {
+	return DeviceDelays{
+		TransmitPs:       fit(s, nodeNM, transmit45Ps, transmit16Ps[s]),
+		ReceivePs:        fit(s, nodeNM, receive45Ps, receive16Ps[s]),
+		ResonatorDrivePs: fit(s, nodeNM, resonator45Ps, resonator16Ps[s]),
+	}
+}
+
+// Delays16 returns the 16 nm device delays for scenario s; this is what
+// every other model in the package consumes.
+func Delays16(s Scenario) DeviceDelays { return DelaysAt(s, 16) }
+
+// fit interpolates from (45nm, v45) to (16nm, v16) along the scenario's
+// curve family: optimistic d = a + b*ln(node) (delay falls fastest, then
+// flattens), average d = a + b*node (straight line), pessimistic
+// d = a*exp(b*node) (delay falls slowest approaching 16 nm).
+func fit(s Scenario, node, v45, v16 float64) float64 {
+	switch s {
+	case Optimistic:
+		// v = a + b*ln(node); solve for the two anchors.
+		b := (v45 - v16) / (math.Log(45) - math.Log(16))
+		a := v16 - b*math.Log(16)
+		return a + b*math.Log(node)
+	case Pessimistic:
+		// v = a * exp(b*node).
+		b := math.Log(v45/v16) / (45 - 16)
+		a := v16 / math.Exp(b*16)
+		return a * math.Exp(b*node)
+	default:
+		// Linear.
+		b := (v45 - v16) / (45 - 16)
+		a := v16 - b*16
+		return a + b*node
+	}
+}

@@ -1,0 +1,142 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestElectricalHopEnergy(t *testing.T) {
+	e := NewElectrical()
+	if e.HopPJ() <= 0 {
+		t.Fatal("non-positive hop energy")
+	}
+	sum := e.BufferWritePJ + e.BufferReadPJ + e.ArbitrationPJ + e.CrossbarPJ + e.LinkPJ
+	if e.HopPJ() != sum {
+		t.Errorf("HopPJ %v != component sum %v", e.HopPJ(), sum)
+	}
+	if e.LeakageWPerRouter <= 0 {
+		t.Error("electrical leakage must be positive")
+	}
+}
+
+func TestOpticalProvisioningGrowsWithHops(t *testing.T) {
+	o4 := NewOptical(64, 4, 0.98)
+	o5 := NewOptical(64, 5, 0.98)
+	o8 := NewOptical(64, 8, 0.98)
+	if !(o4.TransmitMulticastPJ < o5.TransmitMulticastPJ && o5.TransmitMulticastPJ < o8.TransmitMulticastPJ) {
+		t.Errorf("multicast provisioning not increasing: %v %v %v",
+			o4.TransmitMulticastPJ, o5.TransmitMulticastPJ, o8.TransmitMulticastPJ)
+	}
+	if o4.TransmitUnicastPJ >= o4.TransmitMulticastPJ {
+		t.Error("unicast provisioning should be below multicast (no tap compensation)")
+	}
+}
+
+func TestOpticalLeakageBelowElectrical(t *testing.T) {
+	o := NewOptical(64, 4, 0.98)
+	e := NewElectrical()
+	if o.LeakageWPerRouter*4 > e.LeakageWPerRouter {
+		t.Errorf("optical leakage %v not well below electrical %v",
+			o.LeakageWPerRouter, e.LeakageWPerRouter)
+	}
+}
+
+func TestTransmitSegmentMonotone(t *testing.T) {
+	o := NewOptical(64, 4, 0.98)
+	f := func(linksRaw, tapsRaw uint8) bool {
+		links := 1 + int(linksRaw)%7
+		taps := int(tapsRaw) % links
+		base := o.TransmitSegmentPJ(links, taps)
+		longer := o.TransmitSegmentPJ(links+1, taps)
+		if longer <= base {
+			return false
+		}
+		if taps+1 < links {
+			if o.TransmitSegmentPJ(links, taps+1) <= base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransmitSegmentBelowProvisioned(t *testing.T) {
+	// Any actual segment within the hop budget costs no more than the
+	// worst-case provisioning.
+	o := NewOptical(64, 4, 0.98)
+	for links := 1; links <= 4; links++ {
+		for taps := 0; taps < links; taps++ {
+			if got := o.TransmitSegmentPJ(links, taps); got > o.TransmitMulticastPJ+1e-9 {
+				t.Errorf("segment(%d,%d) = %v exceeds provisioned %v",
+					links, taps, got, o.TransmitMulticastPJ)
+			}
+		}
+	}
+	// The full-length, fully-tapped segment equals the multicast
+	// provisioning.
+	if got, want := o.TransmitSegmentPJ(4, 3), o.TransmitMulticastPJ; !almost(got, want) {
+		t.Errorf("max segment %v != provisioned %v", got, want)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+func TestTransmitSegmentClampsTaps(t *testing.T) {
+	o := NewOptical(64, 4, 0.98)
+	// taps >= links is clamped to links-1 rather than rejected, since
+	// callers count taps defensively.
+	if got, want := o.TransmitSegmentPJ(3, 99), o.TransmitSegmentPJ(3, 2); got != want {
+		t.Errorf("tap clamp: %v != %v", got, want)
+	}
+}
+
+func TestTransmitSegmentPanicsOnZeroLinks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero-link segment")
+		}
+	}()
+	NewOptical(64, 4, 0.98).TransmitSegmentPJ(0, 0)
+}
+
+func TestLeakagePJ(t *testing.T) {
+	// 1 W x 64 routers for 4e9 cycles at 4 GHz = 64 J = 6.4e13 pJ.
+	got := LeakagePJ(1.0, 64, 4_000_000_000, 4.0)
+	if !almost(got, 6.4e13) {
+		t.Errorf("LeakagePJ = %v, want 6.4e13", got)
+	}
+	if LeakagePJ(0.5, 64, 0, 4.0) != 0 {
+		t.Error("zero cycles should leak nothing")
+	}
+}
+
+func TestNewOpticalPanicsOnBadHops(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on maxHops 0")
+		}
+	}()
+	NewOptical(64, 0, 0.98)
+}
+
+// The Fig. 11 energy asymmetry: one electrical flit-hop costs several times
+// an optical in-flight router traversal (which is passive - only endpoints
+// pay receive/modulate energy).
+func TestHopEnergyAsymmetry(t *testing.T) {
+	e := NewElectrical()
+	o := NewOptical(64, 4, 0.98)
+	perHopOptical := o.TransmitSegmentPJ(4, 0) / 4 // laser share per link
+	if e.HopPJ() < 5*perHopOptical {
+		t.Errorf("electrical hop %v pJ not >= 5x optical per-link laser %v pJ",
+			e.HopPJ(), perHopOptical)
+	}
+}

@@ -1,0 +1,340 @@
+// Package sim provides the common simulation harness driving both the
+// Phastlane optical network and the electrical baseline: the Network
+// interface, rate-driven synthetic runs (Fig. 9), dependency-aware trace
+// replay (Figs. 10 and 11), and saturation sweeps.
+package sim
+
+import (
+	"fmt"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/stats"
+	"phastlane/internal/trace"
+	"phastlane/internal/traffic"
+)
+
+// Message is a logical network message handed to a Network. A broadcast
+// message lists every destination; the network chooses its own multicast
+// mechanism (Phastlane column sweeps, VCTM trees).
+type Message struct {
+	ID   uint64
+	Src  mesh.NodeID
+	Dsts []mesh.NodeID // one entry for unicast
+	Op   packet.Op
+}
+
+// Delivery reports one (message, destination) arrival.
+type Delivery struct {
+	MsgID uint64
+	Dst   mesh.NodeID
+}
+
+// Network is the cycle-driven interface both simulators implement.
+type Network interface {
+	// Nodes returns the node count.
+	Nodes() int
+	// NICFree returns the free injection-queue entries at node n.
+	NICFree(n mesh.NodeID) int
+	// Inject places a message into its source NIC. It panics when the
+	// NIC is full; callers must check NICFree first.
+	Inject(m Message)
+	// Step advances one clock cycle and returns this cycle's
+	// deliveries.
+	Step() []Delivery
+	// Quiescent reports whether no packet is queued or in flight.
+	Quiescent() bool
+	// Run returns the accumulating counters. Latency is recorded by
+	// the harness, not the network.
+	Run() *stats.Run
+}
+
+// Result summarises one harness run.
+type Result struct {
+	Run stats.Run
+	// OfferedRate is packets/node/cycle presented (synthetic runs).
+	OfferedRate float64
+	// Makespan is the delivery cycle of the last message (trace runs).
+	Makespan int64
+	// Saturated is set when the network failed to drain or its
+	// accepted throughput fell well short of the offered rate.
+	Saturated bool
+	// LatencyByOp breaks trace-replay latency down by message class
+	// (broadcast requests vs unicast replies vs writebacks).
+	LatencyByOp map[packet.Op]*stats.Latency
+}
+
+// messageState tracks outstanding destinations and injection time for
+// latency accounting.
+type messageState struct {
+	inject    int64
+	remaining int
+}
+
+// RateConfig controls a synthetic rate-driven run.
+type RateConfig struct {
+	Pattern traffic.Pattern
+	// Rate is packets per node per cycle.
+	Rate float64
+	// Warmup, Measure: cycles before/while recording latency.
+	Warmup, Measure int
+	// DrainLimit caps the drain phase after measurement; a network
+	// that cannot drain by then is saturated.
+	DrainLimit int
+	Seed       int64
+}
+
+// RunRate drives net with Bernoulli pattern traffic and measures average
+// packet latency, following the standard warmup / measure / drain
+// methodology.
+func RunRate(net Network, cfg RateConfig) Result {
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 1000
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = 4000
+	}
+	if cfg.DrainLimit <= 0 {
+		cfg.DrainLimit = 30000
+	}
+	inj := traffic.NewInjector(cfg.Pattern, net.Nodes(), cfg.Rate, cfg.Seed)
+	res := Result{OfferedRate: cfg.Rate}
+	outstanding := make(map[uint64]*messageState)
+	var nextID uint64
+	var cycle int64
+	var offered, accepted int64
+
+	injectTick := func(record bool) {
+		for _, in := range inj.Tick() {
+			offered++
+			if net.NICFree(in.Src) <= 0 {
+				// Source-queue full: the packet is lost to the
+				// measurement, a saturation symptom.
+				continue
+			}
+			accepted++
+			nextID++
+			net.Inject(Message{ID: nextID, Src: in.Src, Dsts: []mesh.NodeID{in.Dst}, Op: packet.OpSynthetic})
+			if record {
+				outstanding[nextID] = &messageState{inject: cycle, remaining: 1}
+			}
+		}
+	}
+	stepTick := func() {
+		for _, d := range net.Step() {
+			st, ok := outstanding[d.MsgID]
+			if !ok {
+				continue
+			}
+			st.remaining--
+			if st.remaining == 0 {
+				res.Run.Latency.Add(float64(cycle - st.inject + 1))
+				delete(outstanding, d.MsgID)
+			}
+		}
+		cycle++
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		injectTick(false)
+		stepTick()
+	}
+	for i := 0; i < cfg.Measure; i++ {
+		injectTick(true)
+		stepTick()
+	}
+	// Drain: stop injecting, wait for measured packets to arrive.
+	for i := 0; i < cfg.DrainLimit && len(outstanding) > 0; i++ {
+		stepTick()
+	}
+	res.Run.Cycles = int64(cfg.Measure)
+	res.Run.Injected = accepted
+	res.Run.Delivered = int64(res.Run.Latency.Count())
+	copyCounters(&res.Run, net.Run())
+	if len(outstanding) > 0 || (offered > 0 && float64(accepted) < 0.9*float64(offered)) {
+		res.Saturated = true
+	}
+	return res
+}
+
+// copyCounters merges the network-side counters into the harness run.
+func copyCounters(dst, src *stats.Run) {
+	dst.Drops = src.Drops
+	dst.Retries = src.Retries
+	dst.LinkTraversals = src.LinkTraversals
+	dst.BufferedPackets = src.BufferedPackets
+	dst.ElectricalEnergyPJ = src.ElectricalEnergyPJ
+	dst.OpticalEnergyPJ = src.OpticalEnergyPJ
+	dst.LeakagePJ = src.LeakagePJ
+}
+
+// ReplayConfig controls dependency-aware trace replay.
+type ReplayConfig struct {
+	// Limit aborts the replay after this many cycles (0 = 20M).
+	Limit int64
+}
+
+// RunTrace replays tr on net: each message injects once its EarliestCycle
+// has passed, its dependency (if any) has been fully delivered, and its
+// think time has elapsed. The result's Makespan is the cycle the last
+// message completed - the network-performance figure of merit behind the
+// paper's Fig. 10 speedups.
+func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if tr.Nodes != net.Nodes() {
+		return Result{}, fmt.Errorf("sim: trace has %d nodes, network %d", tr.Nodes, net.Nodes())
+	}
+	limit := cfg.Limit
+	if limit == 0 {
+		limit = 20_000_000
+	}
+	allDsts := make([]mesh.NodeID, tr.Nodes)
+	for i := range allDsts {
+		allDsts[i] = mesh.NodeID(i)
+	}
+
+	// readyAt[id] is the cycle message id may inject; -1 = dependency
+	// not yet delivered.
+	readyAt := make([]int64, len(tr.Messages)+1)
+	dependents := make(map[uint64][]uint64)
+	var pending []uint64 // ids not yet injected, in ID order
+	for _, m := range tr.Messages {
+		pending = append(pending, m.ID)
+		if m.Dep == 0 {
+			readyAt[m.ID] = m.EarliestCycle
+		} else {
+			readyAt[m.ID] = -1
+			dependents[m.Dep] = append(dependents[m.Dep], m.ID)
+		}
+	}
+	outstanding := make(map[uint64]*messageState)
+	res := Result{LatencyByOp: make(map[packet.Op]*stats.Latency)}
+	var cycle int64
+	remainingDeliveries := 0
+
+	for len(pending) > 0 || remainingDeliveries > 0 {
+		if cycle >= limit {
+			res.Saturated = true
+			break
+		}
+		// Inject every ready message whose NIC has room, in ID
+		// order per source.
+		rest := pending[:0]
+		for _, id := range pending {
+			m := tr.Messages[id-1]
+			r := readyAt[id]
+			if r < 0 || r > cycle || net.NICFree(m.Src) <= 0 {
+				rest = append(rest, id)
+				continue
+			}
+			dsts := []mesh.NodeID{m.Dst}
+			if m.IsBroadcast() {
+				dsts = broadcastDsts(allDsts, m.Src)
+			}
+			net.Inject(Message{ID: id, Src: m.Src, Dsts: dsts, Op: m.Op})
+			// Latency is measured from readiness (dependency
+			// resolved, think time elapsed), so time spent
+			// stalled behind a full NIC counts against the
+			// network.
+			outstanding[id] = &messageState{inject: r, remaining: len(dsts)}
+			remainingDeliveries += len(dsts)
+			res.Run.Injected++
+		}
+		pending = rest
+
+		for _, d := range net.Step() {
+			st, ok := outstanding[d.MsgID]
+			if !ok {
+				continue
+			}
+			st.remaining--
+			remainingDeliveries--
+			if st.remaining > 0 {
+				continue
+			}
+			res.Run.Latency.Add(float64(cycle - st.inject + 1))
+			res.Run.Delivered++
+			res.Makespan = cycle + 1
+			delete(outstanding, d.MsgID)
+			m := tr.Messages[d.MsgID-1]
+			ol, ok := res.LatencyByOp[m.Op]
+			if !ok {
+				ol = &stats.Latency{}
+				res.LatencyByOp[m.Op] = ol
+			}
+			ol.Add(float64(cycle - st.inject + 1))
+			for _, dep := range dependents[d.MsgID] {
+				think := tr.Messages[dep-1].Think
+				at := cycle + 1 + think
+				if e := tr.Messages[dep-1].EarliestCycle; e > at {
+					at = e
+				}
+				readyAt[dep] = at
+			}
+			_ = m
+		}
+		cycle++
+	}
+	res.Run.Cycles = cycle
+	copyCounters(&res.Run, net.Run())
+	return res, nil
+}
+
+// broadcastDsts returns all nodes except src.
+func broadcastDsts(all []mesh.NodeID, src mesh.NodeID) []mesh.NodeID {
+	out := make([]mesh.NodeID, 0, len(all)-1)
+	for _, n := range all {
+		if n != src {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SweepPoint is one (rate, latency) sample of a saturation sweep.
+type SweepPoint struct {
+	Rate       float64
+	AvgLatency float64
+	Throughput float64
+	Saturated  bool
+}
+
+// Sweep runs RunRate over the given rates, stopping early once two
+// consecutive points saturate. newNet must build a fresh network per point.
+func Sweep(newNet func() Network, pattern traffic.Pattern, rates []float64, seed int64) []SweepPoint {
+	var pts []SweepPoint
+	saturatedRun := 0
+	for _, rate := range rates {
+		net := newNet()
+		r := RunRate(net, RateConfig{Pattern: pattern, Rate: rate, Seed: seed})
+		pt := SweepPoint{
+			Rate:       rate,
+			AvgLatency: r.Run.Latency.Mean(),
+			Throughput: r.Run.ThroughputPerNode(net.Nodes()),
+			Saturated:  r.Saturated,
+		}
+		pts = append(pts, pt)
+		if pt.Saturated {
+			saturatedRun++
+			if saturatedRun >= 2 {
+				break
+			}
+		} else {
+			saturatedRun = 0
+		}
+	}
+	return pts
+}
+
+// SaturationRate returns the highest non-saturated rate of a sweep, or 0.
+func SaturationRate(pts []SweepPoint) float64 {
+	best := 0.0
+	for _, p := range pts {
+		if !p.Saturated && p.Rate > best {
+			best = p.Rate
+		}
+	}
+	return best
+}

@@ -1,0 +1,203 @@
+// Package stats collects and summarises network simulation metrics:
+// per-packet latencies, throughput, drops and retries, and the derived
+// quantities the paper reports (average latency, saturation, speedup).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Latency accumulates packet latency samples in cycles.
+type Latency struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one latency sample.
+func (l *Latency) Add(cycles float64) {
+	l.samples = append(l.samples, cycles)
+	l.sum += cycles
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the average latency, or 0 with no samples.
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.sum / float64(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 with no
+// samples.
+func (l *Latency) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	idx := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (l *Latency) Max() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	return l.samples[len(l.samples)-1]
+}
+
+// Run aggregates the outcome of one simulation run.
+type Run struct {
+	// Latency of delivered packets, in cycles, injection to delivery.
+	Latency Latency
+	// Cycles is the simulated duration (measurement phase).
+	Cycles int64
+	// Injected counts logical messages entering NIC queues;
+	// Delivered counts messages fully delivered (all multicast
+	// destinations served).
+	Injected, Delivered int64
+	// Drops counts packet drops; Retries counts retransmissions.
+	Drops, Retries int64
+	// LinkTraversals counts packet-link crossings (for power).
+	LinkTraversals int64
+	// BufferedPackets counts receptions into electrical buffers.
+	BufferedPackets int64
+	// Energy in picojoules, split by domain.
+	ElectricalEnergyPJ, OpticalEnergyPJ float64
+	// LeakagePJ is the accumulated static energy.
+	LeakagePJ float64
+}
+
+// ThroughputPerNode returns delivered packets per node per cycle.
+func (r *Run) ThroughputPerNode(nodes int) float64 {
+	if r.Cycles == 0 || nodes == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Cycles) / float64(nodes)
+}
+
+// TotalEnergyPJ sums dynamic and static energy.
+func (r *Run) TotalEnergyPJ() float64 {
+	return r.ElectricalEnergyPJ + r.OpticalEnergyPJ + r.LeakagePJ
+}
+
+// PowerW converts total energy to average power at the given clock.
+func (r *Run) PowerW(clockGHz float64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / (clockGHz * 1e9)
+	return r.TotalEnergyPJ() * 1e-12 / seconds
+}
+
+// Series is a labelled sequence of (x, y) points: one curve of a figure.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	YLabel string
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders labelled rows for terminal output, mimicking the figure
+// data the paper plots.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// GeoMean returns the geometric mean of positive values, or 0 when empty.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyMean(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Count() != 0 {
+		t.Error("empty latency should report zeros")
+	}
+	for _, v := range []float64{10, 20, 30} {
+		l.Add(v)
+	}
+	if got := l.Mean(); got != 20 {
+		t.Errorf("Mean = %v, want 20", got)
+	}
+	if l.Count() != 3 {
+		t.Errorf("Count = %d", l.Count())
+	}
+}
+
+func TestLatencyPercentileAndMax(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(float64(i))
+	}
+	if got := l.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := l.Max(); got != 100 {
+		t.Errorf("Max = %v", got)
+	}
+	// Adding after sorting still works.
+	l.Add(1000)
+	if got := l.Max(); got != 1000 {
+		t.Errorf("Max after re-add = %v", got)
+	}
+}
+
+func TestLatencyPercentileEmpty(t *testing.T) {
+	var l Latency
+	if l.Percentile(99) != 0 || l.Max() != 0 {
+		t.Error("empty percentile/max should be 0")
+	}
+}
+
+// Property: mean lies within [min, max] of the samples.
+func TestLatencyMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latency
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			l.Add(v)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		m := l.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	r := Run{Cycles: 1000, Delivered: 6400}
+	if got := r.ThroughputPerNode(64); got != 0.1 {
+		t.Errorf("throughput = %v, want 0.1", got)
+	}
+	var empty Run
+	if empty.ThroughputPerNode(64) != 0 {
+		t.Error("empty run throughput should be 0")
+	}
+}
+
+func TestRunPower(t *testing.T) {
+	r := Run{Cycles: 4000, ElectricalEnergyPJ: 500, OpticalEnergyPJ: 300, LeakagePJ: 200}
+	// 4000 cycles at 4 GHz = 1 µs; 1000 pJ / 1 µs = 1 mW.
+	if got := r.PowerW(4.0); !almostEq(got, 0.001) {
+		t.Errorf("PowerW = %v, want 0.001", got)
+	}
+	if r.TotalEnergyPJ() != 1000 {
+		t.Errorf("TotalEnergyPJ = %v", r.TotalEnergyPJ())
+	}
+	var empty Run
+	if empty.PowerW(4.0) != 0 {
+		t.Error("empty run power should be 0")
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if len(s.X) != 2 || s.Y[1] != 20 {
+		t.Error("Series.Append broken")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22222") {
+		t.Error("missing cells")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEq(got, 2) {
+		t.Errorf("GeoMean(1,4) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with non-positive value should be 0")
+	}
+}

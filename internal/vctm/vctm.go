@@ -1,0 +1,98 @@
+// Package vctm implements Virtual Circuit Tree Multicasting (Jerger, Peh,
+// Lipasti, ISCA 2008) as used by the paper's electrical baseline to perform
+// packet broadcasts (Section 4): a multicast packet follows a pre-built
+// dimension-order tree rooted at its source, and routers replicate it onto
+// each child branch.
+//
+// Trees are the union of the X-then-Y paths from the root to every
+// destination, which is exactly the tree the VCTM setup packets would carve
+// out in a dimension-order network. The electrical simulator builds one
+// tree per (source, destination-set) and caches it, mirroring VCTM's
+// virtual-circuit-tree table reuse.
+package vctm
+
+import (
+	"fmt"
+	"sort"
+
+	"phastlane/internal/mesh"
+)
+
+// Tree is a multicast tree rooted at Src. The zero value is unusable;
+// construct with Build.
+type Tree struct {
+	src      mesh.NodeID
+	children map[mesh.NodeID][]mesh.Dir
+	deliver  map[mesh.NodeID]bool
+	size     int
+}
+
+// Build constructs the dimension-order multicast tree from src to dsts.
+// It panics when dsts is empty or contains src (configuration errors).
+func Build(m *mesh.Mesh, src mesh.NodeID, dsts []mesh.NodeID) *Tree {
+	if len(dsts) == 0 {
+		panic("vctm: empty destination set")
+	}
+	edges := make(map[mesh.NodeID]map[mesh.Dir]bool)
+	deliver := make(map[mesh.NodeID]bool, len(dsts))
+	for _, dst := range dsts {
+		if dst == src {
+			panic("vctm: destination set contains the source")
+		}
+		deliver[dst] = true
+		cur := src
+		for _, d := range m.Route(src, dst) {
+			if edges[cur] == nil {
+				edges[cur] = make(map[mesh.Dir]bool)
+			}
+			edges[cur][d] = true
+			next, ok := m.Neighbor(cur, d)
+			if !ok {
+				panic(fmt.Sprintf("vctm: route walks off mesh at %d", cur))
+			}
+			cur = next
+		}
+	}
+	t := &Tree{
+		src:      src,
+		children: make(map[mesh.NodeID][]mesh.Dir, len(edges)),
+		deliver:  deliver,
+		size:     len(dsts),
+	}
+	for node, dirs := range edges {
+		list := make([]mesh.Dir, 0, len(dirs))
+		for d := range dirs {
+			list = append(list, d)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		t.children[node] = list
+	}
+	return t
+}
+
+// Src returns the tree root.
+func (t *Tree) Src() mesh.NodeID { return t.src }
+
+// Destinations returns the number of delivery targets.
+func (t *Tree) Destinations() int { return t.size }
+
+// Children returns the branch directions a multicast packet replicates
+// onto at the given router (empty at leaves). The returned slice is shared;
+// callers must not modify it.
+func (t *Tree) Children(at mesh.NodeID) []mesh.Dir { return t.children[at] }
+
+// Deliver reports whether the packet is consumed by the local node at the
+// given router.
+func (t *Tree) Deliver(at mesh.NodeID) bool { return t.deliver[at] }
+
+// Key canonically identifies a destination set for tree caching.
+func Key(src mesh.NodeID, dsts []mesh.NodeID) string {
+	sorted := append([]mesh.NodeID(nil), dsts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	b := make([]byte, 0, 4+len(sorted)*2)
+	b = append(b, byte(src), byte(src>>8))
+	for _, d := range sorted {
+		b = append(b, byte(d), byte(d>>8))
+	}
+	return string(b)
+}

@@ -1,0 +1,145 @@
+package vctm
+
+import (
+	"math/rand"
+	"testing"
+
+	"phastlane/internal/mesh"
+)
+
+// walkTree simulates tree traversal and returns delivery counts per node.
+func walkTree(t *testing.T, m *mesh.Mesh, tree *Tree) map[mesh.NodeID]int {
+	t.Helper()
+	got := make(map[mesh.NodeID]int)
+	var visit func(at mesh.NodeID, depth int)
+	visit = func(at mesh.NodeID, depth int) {
+		if depth > m.Nodes() {
+			t.Fatal("tree walk too deep; cycle?")
+		}
+		if tree.Deliver(at) {
+			got[at]++
+		}
+		for _, d := range tree.Children(at) {
+			next, ok := m.Neighbor(at, d)
+			if !ok {
+				t.Fatalf("tree branch walks off mesh at %d going %s", at, d)
+			}
+			visit(next, depth+1)
+		}
+	}
+	visit(tree.Src(), 0)
+	return got
+}
+
+func TestBroadcastTreeCoversAll(t *testing.T) {
+	m := mesh.New(8, 8)
+	for _, src := range []mesh.NodeID{0, 7, 27, 63} {
+		var dsts []mesh.NodeID
+		for i := mesh.NodeID(0); i < 64; i++ {
+			if i != src {
+				dsts = append(dsts, i)
+			}
+		}
+		tree := Build(m, src, dsts)
+		got := walkTree(t, m, tree)
+		if len(got) != 63 {
+			t.Fatalf("src %d: tree delivers to %d nodes, want 63", src, len(got))
+		}
+		for n, c := range got {
+			if c != 1 {
+				t.Errorf("src %d: node %d delivered %d times", src, n, c)
+			}
+		}
+		if tree.Deliver(src) {
+			t.Errorf("src %d delivers to itself", src)
+		}
+	}
+}
+
+func TestSubsetTree(t *testing.T) {
+	m := mesh.New(8, 8)
+	dsts := []mesh.NodeID{3, 24, 60}
+	tree := Build(m, 0, dsts)
+	got := walkTree(t, m, tree)
+	if len(got) != 3 {
+		t.Fatalf("delivered to %d nodes, want 3: %v", len(got), got)
+	}
+	for _, d := range dsts {
+		if got[d] != 1 {
+			t.Errorf("dst %d delivered %d times", d, got[d])
+		}
+	}
+}
+
+func TestUnicastTreeIsPath(t *testing.T) {
+	m := mesh.New(8, 8)
+	tree := Build(m, 0, []mesh.NodeID{18})
+	// Every tree node has at most one child; total branch edges equal
+	// the hop distance.
+	edges := 0
+	for n := mesh.NodeID(0); n < 64; n++ {
+		c := len(tree.Children(n))
+		if c > 1 {
+			t.Errorf("node %d has %d children on a unicast tree", n, c)
+		}
+		edges += c
+	}
+	if edges != m.HopDistance(0, 18) {
+		t.Errorf("tree has %d edges, want %d", edges, m.HopDistance(0, 18))
+	}
+}
+
+// Property: trees are acyclic with dimension-order shape - any node's
+// children never include the direction back toward the parent.
+func TestTreeShape(t *testing.T) {
+	m := mesh.New(8, 8)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		src := mesh.NodeID(rng.Intn(64))
+		seen := map[mesh.NodeID]bool{}
+		var dsts []mesh.NodeID
+		for len(dsts) < 5 {
+			d := mesh.NodeID(rng.Intn(64))
+			if d != src && !seen[d] {
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+		}
+		tree := Build(m, src, dsts)
+		got := walkTree(t, m, tree)
+		if len(got) != len(dsts) {
+			t.Fatalf("src %d dsts %v: delivered %v", src, dsts, got)
+		}
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	m := mesh.New(4, 4)
+	for name, f := range map[string]func(){
+		"empty":        func() { Build(m, 0, nil) },
+		"self-in-dsts": func() { Build(m, 0, []mesh.NodeID{0, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := Key(5, []mesh.NodeID{1, 2, 3})
+	b := Key(5, []mesh.NodeID{3, 1, 2})
+	if a != b {
+		t.Error("Key not order-independent")
+	}
+	if Key(5, []mesh.NodeID{1, 2}) == Key(5, []mesh.NodeID{1, 2, 3}) {
+		t.Error("Key collides across different sets")
+	}
+	if Key(4, []mesh.NodeID{1, 2}) == Key(5, []mesh.NodeID{1, 2}) {
+		t.Error("Key ignores source")
+	}
+}
