@@ -1,13 +1,16 @@
 // Command designspace prints the paper's Section 3 design-space analyses:
 // device-delay scaling (Fig. 4), router critical paths (Fig. 5), per-cycle
 // hop limits (Fig. 6), peak optical power (Fig. 7), router area (Fig. 8),
-// and the configuration tables (Tables 1-4).
+// and the configuration tables (Tables 1-4). The analyses are pure
+// computation; with -parallel they are generated concurrently on the exp
+// worker pool and printed in the usual order.
 //
 // Usage:
 //
 //	designspace            # print everything
 //	designspace -fig 7     # one figure
 //	designspace -tables    # only Tables 1-4
+//	designspace -parallel 4
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 	"phastlane/internal/stats"
 )
@@ -23,6 +27,7 @@ func main() {
 	fig := flag.Int("fig", 0, "print a single figure (4-8); 0 prints all")
 	tables := flag.Bool("tables", false, "print only Tables 1-4")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	flag.Parse()
 	render := func(t *stats.Table) {
 		if *csv {
@@ -30,6 +35,15 @@ func main() {
 			return
 		}
 		fmt.Println(t)
+	}
+	// renderAll generates the tables on the worker pool, then prints them
+	// in submission order.
+	renderAll := func(gens []func() *stats.Table) {
+		for _, t := range exp.Run(gens, func(_ int, gen func() *stats.Table) *stats.Table {
+			return gen()
+		}, exp.Options{Workers: *parallel}) {
+			render(t)
+		}
 	}
 
 	figs := map[int]func() *stats.Table{
@@ -40,10 +54,7 @@ func main() {
 		8: figures.Fig8,
 	}
 	if *tables {
-		render(figures.Table1())
-		render(figures.Table2())
-		render(figures.Table3())
-		render(figures.Table4())
+		renderAll([]func() *stats.Table{figures.Table1, figures.Table2, figures.Table3, figures.Table4})
 		return
 	}
 	if *fig != 0 {
@@ -55,11 +66,8 @@ func main() {
 		render(f())
 		return
 	}
-	for _, n := range []int{4, 5, 6, 7, 8} {
-		render(figs[n]())
-	}
-	render(figures.Table1())
-	render(figures.Table2())
-	render(figures.Table3())
-	render(figures.Table4())
+	renderAll([]func() *stats.Table{
+		figs[4], figs[5], figs[6], figs[7], figs[8],
+		figures.Table1, figures.Table2, figures.Table3, figures.Table4,
+	})
 }

@@ -3,12 +3,14 @@
 // text table and CSV: Figs. 4-8 and Tables 1-4 (design space), Fig. 9
 // (synthetic sweeps), Figs. 10-11 (SPLASH2 speedup and power), the
 // headline summary, and the beyond-the-paper architecture comparison and
-// sensitivity sweep.
+// sensitivity sweep. The simulation grids fan out over a worker pool;
+// results are bit-identical for any worker count.
 //
 // Usage:
 //
 //	reproduce -out results/              # full scale (several minutes)
 //	reproduce -out results/ -quick       # reduced scale (tens of seconds)
+//	reproduce -out results/ -parallel 4  # explicit worker count (0 = all cores)
 package main
 
 import (
@@ -16,7 +18,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 	"phastlane/internal/stats"
 )
@@ -25,8 +29,17 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
+	quiet := flag.Bool("quiet", false, "suppress progress log lines")
 	flag.Parse()
 
+	progress := func(label string) func(done, total int) {
+		if *quiet {
+			return nil
+		}
+		return exp.Logger(os.Stderr, label, 2*time.Second)
+	}
+	start := time.Now()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
@@ -37,7 +50,7 @@ func main() {
 		if err := os.WriteFile(filepath.Join(*out, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Println("wrote", name)
+		fmt.Printf("wrote %s (%.1fs elapsed)\n", name, time.Since(start).Seconds())
 	}
 
 	// Design space: cheap, always full scale.
@@ -52,7 +65,7 @@ func main() {
 	write("table4_cache_config", figures.Table4())
 
 	// Fig. 9 sweeps.
-	f9 := figures.Fig9Opts{Seed: *seed}
+	f9 := figures.Fig9Opts{Seed: *seed, Workers: *parallel, Progress: progress("fig9")}
 	if *quick {
 		f9.Rates = []float64{0.02, 0.10, 0.20}
 		f9.Warmup, f9.Measure = 300, 1000
@@ -62,7 +75,7 @@ func main() {
 	}
 
 	// Figs. 10-11.
-	so := figures.SplashOpts{Seed: *seed}
+	so := figures.SplashOpts{Seed: *seed, Workers: *parallel, Progress: progress("splash")}
 	if *quick {
 		so.Messages = 5000
 	}
@@ -81,7 +94,7 @@ func main() {
 	fmt.Print(headline)
 
 	// Beyond the paper.
-	co := figures.CompareOpts{Seed: *seed}
+	co := figures.CompareOpts{Seed: *seed, Workers: *parallel, Progress: progress("compare")}
 	if *quick {
 		co.Messages, co.Measure = 3000, 1000
 	}
@@ -91,7 +104,7 @@ func main() {
 	}
 	write("comparison_architectures", figures.CompareTable(cmp, nil))
 
-	sv := figures.SensitivityOpts{Seed: *seed, Benchmark: "Barnes"}
+	sv := figures.SensitivityOpts{Seed: *seed, Benchmark: "Barnes", Workers: *parallel, Progress: progress("sensitivity")}
 	if *quick {
 		sv.Messages = 3000
 	}
@@ -100,6 +113,7 @@ func main() {
 		fail(err)
 	}
 	write("sensitivity_knobs", figures.SensitivityTable(pts, sv.Benchmark))
+	fmt.Printf("reproduce: done in %.1fs\n", time.Since(start).Seconds())
 }
 
 func fail(err error) {

@@ -1,13 +1,15 @@
 // Command sweep regenerates Fig. 9: average packet latency versus injection
 // rate for the bit-complement, bit-reverse, shuffle and transpose patterns
 // on the optical 4/5/8-hop networks and the 2- and 3-cycle electrical
-// baselines.
+// baselines. The (pattern x config) curves fan out over a worker pool;
+// results are bit-identical for any worker count.
 //
 // Usage:
 //
 //	sweep                        # all four patterns, default rate grid
 //	sweep -pattern Shuffle       # one pattern
 //	sweep -measure 8000          # longer measurement windows
+//	sweep -parallel 4            # explicit worker count (0 = all cores)
 package main
 
 import (
@@ -16,7 +18,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 )
 
@@ -27,10 +31,15 @@ func main() {
 	measure := flag.Int("measure", 4000, "measurement cycles per point")
 	warmup := flag.Int("warmup", 1000, "warmup cycles per point")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
+	quiet := flag.Bool("quiet", false, "suppress progress log lines")
 	ratesFlag := flag.String("rates", "", "comma-separated injection rates (default grid if empty)")
 	flag.Parse()
 
-	opts := figures.Fig9Opts{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	opts := figures.Fig9Opts{Warmup: *warmup, Measure: *measure, Seed: *seed, Workers: *parallel}
+	if !*quiet {
+		opts.Progress = exp.Logger(os.Stderr, "sweep", 2*time.Second)
+	}
 	if *ratesFlag != "" {
 		for _, f := range strings.Split(*ratesFlag, ",") {
 			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -41,7 +50,12 @@ func main() {
 			opts.Rates = append(opts.Rates, r)
 		}
 	}
-	for _, res := range figures.Fig9(opts) {
+	start := time.Now()
+	results := figures.Fig9(opts)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
+	}
+	for _, res := range results {
 		if *pattern != "" && res.Pattern != *pattern {
 			continue
 		}

@@ -1,0 +1,208 @@
+// Package exp is the parallel experiment engine behind the paper's
+// evaluation grids. The figures of Sections 3 and 5 are embarrassingly
+// parallel products of (network config x traffic pattern x injection rate x
+// seed); exp fans such a slice of independent experiment points out over a
+// bounded worker pool and hands the results back in submission order, so
+// callers observe exactly what a serial loop would have produced.
+//
+// Determinism is the design centre: experiment functions must derive all
+// randomness from their own point (typically via DeriveSeed of a base seed
+// and the point index), never from shared state or scheduling order. Under
+// that contract, Run and RunUntil yield bit-identical results for any
+// worker count, which the test suite pins down by comparing workers=1
+// against workers=8 runs.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one engine invocation.
+type Options struct {
+	// Workers is the pool size; values below 1 mean runtime.GOMAXPROCS(0)
+	// (one worker per available core).
+	Workers int
+	// Progress, when non-nil, is called after each point completes with
+	// the number of completed points and the total submitted so far.
+	// Calls are serialised by the engine; the callback needs no locking
+	// of its own, but it runs on worker goroutines and must not block
+	// for long.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective pool size.
+func (o Options) workers() int {
+	if o.Workers >= 1 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DeriveSeed maps (base seed, point index) to a decorrelated per-point
+// seed using the splitmix64 finaliser. Points of one grid get seeds that
+// are deterministic functions of their index alone, so a grid evaluated in
+// parallel, in reverse, or resumed halfway sees the same random streams as
+// a serial sweep. The mapping avoids returning 0 because several PRNGs
+// treat a zero seed as degenerate.
+func DeriveSeed(base int64, index uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return int64(z)
+}
+
+// Run evaluates fn over every item on a worker pool and returns the
+// results in item order. fn receives the item's index and value; it must
+// be safe for concurrent invocation and derive any randomness from its
+// arguments only. A panicking fn is re-panicked on the caller's goroutine
+// after the pool drains, so failures surface where the grid was launched.
+func Run[T, R any](items []T, fn func(i int, item T) R, opt Options) []R {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	w := opt.workers()
+	if w > len(items) {
+		w = len(items)
+	}
+	if w == 1 {
+		// Serial fast path: no goroutines, same results by contract.
+		for i, it := range items {
+			results[i] = fn(i, it)
+			if opt.Progress != nil {
+				opt.Progress(i+1, len(items))
+			}
+		}
+		return results
+	}
+
+	var (
+		next     atomic.Int64
+		done     int
+		panicked atomic.Value
+		progress sync.Mutex
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &poolPanic{val: r})
+						}
+					}()
+					results[i] = fn(i, items[i])
+				}()
+				if opt.Progress != nil {
+					progress.Lock()
+					done++
+					opt.Progress(done, len(items))
+					progress.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.(*poolPanic).val)
+	}
+	return results
+}
+
+// poolPanic wraps a worker panic value for transport across goroutines.
+type poolPanic struct{ val any }
+
+// Cut inspects an ordered prefix of results and decides whether the grid
+// can stop early. It returns the number of leading results to keep and
+// whether that cutoff is final; once final, no later item can appear in
+// the output. Cut is always called with a contiguous prefix, exactly as a
+// serial loop would have observed it.
+type Cut[R any] func(prefix []R) (keep int, stop bool)
+
+// RunUntil evaluates fn over items in order with chunked speculative
+// dispatch, honouring an early-exit predicate without giving up
+// determinism. Items are dispatched in chunks of about twice the worker
+// count; after each chunk completes, cut examines the full ordered prefix
+// computed so far. When cut stops, the kept prefix is returned and no
+// further chunks launch. Because every item is evaluated independently,
+// the kept results are bit-identical to a serial loop applying the same
+// predicate — parallelism only risks evaluating a bounded number of
+// points past the cutoff, never changing their values.
+func RunUntil[T, R any](items []T, fn func(i int, item T) R, cut Cut[R], opt Options) []R {
+	if cut == nil {
+		return Run(items, fn, opt)
+	}
+	w := opt.workers()
+	chunk := 2 * w
+	if chunk < 1 {
+		chunk = 1
+	}
+	var results []R
+	var submitted int
+	for start := 0; start < len(items); start += chunk {
+		end := start + chunk
+		if end > len(items) {
+			end = len(items)
+		}
+		sub := opt
+		if opt.Progress != nil {
+			base := submitted
+			sub.Progress = func(done, _ int) {
+				opt.Progress(base+done, len(items))
+			}
+		}
+		results = append(results, Run(items[start:end], func(i int, it T) R {
+			return fn(start+i, it)
+		}, sub)...)
+		submitted = end
+		if keep, stop := cut(results); stop {
+			if keep < 0 {
+				keep = 0
+			}
+			if keep > len(results) {
+				keep = len(results)
+			}
+			return results[:keep]
+		}
+	}
+	return results
+}
+
+// Logger returns a Progress callback that writes "label: done/total
+// (elapsed)" lines to out, rate-limited to one line per interval (plus
+// the final line). It is the standard progress reporter of the cmd/
+// drivers; pass it to Options.Progress.
+func Logger(out io.Writer, label string, interval time.Duration) func(done, total int) {
+	start := time.Now()
+	var mu sync.Mutex
+	var last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done < total && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		fmt.Fprintf(out, "%s: %d/%d points (%.1fs elapsed)\n",
+			label, done, total, now.Sub(start).Seconds())
+	}
+}

@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	for i := uint64(0); i < 100; i++ {
+		if DeriveSeed(42, i) != DeriveSeed(42, i) {
+			t.Fatalf("DeriveSeed(42, %d) not stable", i)
+		}
+	}
+}
+
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	seen := map[int64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		s := DeriveSeed(1, i)
+		if s == 0 {
+			t.Fatalf("DeriveSeed(1, %d) = 0", i)
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed(1, %d) collides with index %d", i, j)
+		}
+		seen[s] = i
+	}
+	// Adjacent base seeds must not produce overlapping streams.
+	if DeriveSeed(1, 1) == DeriveSeed(2, 0) {
+		t.Error("trivially shifted streams collide")
+	}
+}
+
+func TestRunOrdersResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 8, 200} {
+		got := Run(items, func(i, it int) int {
+			if i != it {
+				t.Errorf("fn called with index %d for item %d", i, it)
+			}
+			return it * it
+		}, Options{Workers: workers})
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(nil, func(int, int) int { return 1 }, Options{}); len(got) != 0 {
+		t.Errorf("Run(nil) returned %d results", len(got))
+	}
+}
+
+func TestRunWorkerCountsAgree(t *testing.T) {
+	items := make([]uint64, 64)
+	for i := range items {
+		items[i] = uint64(i)
+	}
+	fn := func(i int, it uint64) int64 { return DeriveSeed(7, it) }
+	serial := Run(items, fn, Options{Workers: 1})
+	parallel := Run(items, fn, Options{Workers: 8})
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result[%d]: workers=1 %d vs workers=8 %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunProgressMonotonic(t *testing.T) {
+	items := make([]int, 50)
+	var calls []int
+	Run(items, func(i, _ int) int { return i }, Options{
+		Workers: 4,
+		Progress: func(done, total int) {
+			if total != 50 {
+				t.Errorf("total = %d, want 50", total)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if len(calls) != 50 {
+		t.Fatalf("progress called %d times, want 50", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done sequence broken at call %d: got %d", i, d)
+		}
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		if fmt.Sprint(r) != "boom 13" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	items := make([]int, 32)
+	Run(items, func(i, _ int) int {
+		if i == 13 {
+			panic("boom 13")
+		}
+		return i
+	}, Options{Workers: 4})
+}
+
+// serialUntil is the reference semantics RunUntil must reproduce: evaluate
+// in order, consult cut after every point.
+func serialUntil[T, R any](items []T, fn func(int, T) R, cut Cut[R]) []R {
+	var out []R
+	for i, it := range items {
+		out = append(out, fn(i, it))
+		if keep, stop := cut(out); stop {
+			return out[:keep]
+		}
+	}
+	return out
+}
+
+func TestRunUntilMatchesSerial(t *testing.T) {
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	fn := func(i, it int) int { return it * 3 }
+	// Stop once two consecutive values exceed 60, keeping both - the
+	// shape of sim.Sweep's saturation exit.
+	cut := func(prefix []int) (int, bool) {
+		run := 0
+		for i, v := range prefix {
+			if v <= 60 {
+				run = 0
+				continue
+			}
+			if run++; run >= 2 {
+				return i + 1, true
+			}
+		}
+		return len(prefix), false
+	}
+	want := serialUntil(items, fn, cut)
+	for _, workers := range []int{1, 3, 8} {
+		got := RunUntil(items, fn, cut, Options{Workers: workers})
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunUntilNoStopRunsEverything(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5}
+	got := RunUntil(items, func(_, it int) int { return it }, func(p []int) (int, bool) {
+		return len(p), false
+	}, Options{Workers: 2})
+	if len(got) != len(items) {
+		t.Fatalf("got %d results, want %d", len(got), len(items))
+	}
+}
+
+func TestRunUntilNilCut(t *testing.T) {
+	got := RunUntil([]int{1, 2, 3}, func(_, it int) int { return it }, nil, Options{Workers: 2})
+	if len(got) != 3 {
+		t.Fatalf("nil cut: got %d results, want 3", len(got))
+	}
+}
+
+func TestRunUntilProgressCoversAllPoints(t *testing.T) {
+	items := make([]int, 17)
+	var max, calls int
+	RunUntil(items, func(i, _ int) int { return i }, func(p []int) (int, bool) {
+		return len(p), false
+	}, Options{Workers: 3, Progress: func(done, total int) {
+		calls++
+		if total != 17 {
+			t.Errorf("total = %d, want 17", total)
+		}
+		if done > max {
+			max = done
+		}
+	}})
+	if calls != 17 || max != 17 {
+		t.Fatalf("progress calls=%d max=%d, want 17/17", calls, max)
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var b strings.Builder
+	log := Logger(&b, "grid", time.Hour)
+	log(1, 3) // first line always prints
+	log(2, 3) // suppressed: within interval, not final
+	log(3, 3) // final: always printed
+	out := b.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("logger wrote %q, want first and final lines only", out)
+	}
+	if !strings.Contains(out, "grid: 1/3 points") || !strings.Contains(out, "grid: 3/3 points") {
+		t.Fatalf("logger wrote %q", out)
+	}
+}
+
+func TestLoggerImmediateInterval(t *testing.T) {
+	var b strings.Builder
+	log := Logger(&b, "grid", 0)
+	log(1, 2)
+	log(2, 2)
+	if strings.Count(b.String(), "\n") != 2 {
+		t.Fatalf("logger wrote %q, want two lines", b.String())
+	}
+}

@@ -3,6 +3,7 @@ package figures
 import (
 	"phastlane/internal/circuit"
 	"phastlane/internal/corona"
+	"phastlane/internal/exp"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
 	"phastlane/internal/traffic"
@@ -50,6 +51,12 @@ type CompareOpts struct {
 	Benchmark string
 	Messages  int
 	Seed      int64
+	// Workers sizes the pool the architectures fan out over; values
+	// below 1 use one worker per core.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) architecture
+	// counts.
+	Progress func(done, total int)
 }
 
 // CompareResult holds one architecture's numbers.
@@ -79,10 +86,16 @@ func Compare(opts CompareOpts) ([]CompareResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []CompareResult
-	for _, cfg := range CompareConfigs() {
+	type archOut struct {
+		res CompareResult
+		err error
+	}
+	results := exp.Run(CompareConfigs(), func(_ int, cfg NetConfig) archOut {
 		res := CompareResult{Config: cfg.Name, UniformLatency: map[float64]float64{}}
 		for _, rate := range opts.Rates {
+			// A fresh UniformRandom per point keeps its RNG private
+			// to this worker and its stream independent of how the
+			// architectures are scheduled.
 			r := sim.RunRate(cfg.Build(opts.Seed), sim.RateConfig{
 				Pattern: traffic.UniformRandom(64, opts.Seed+5),
 				Rate:    rate, Warmup: opts.Warmup, Measure: opts.Measure,
@@ -96,12 +109,19 @@ func Compare(opts CompareOpts) ([]CompareResult, error) {
 		}
 		trres, err := sim.RunTrace(cfg.Build(opts.Seed), tr, sim.ReplayConfig{})
 		if err != nil {
-			return nil, err
+			return archOut{err: err}
 		}
 		res.TraceLatency = trres.Run.Latency.Mean()
 		res.TracePowerW = trres.Run.PowerW(4.0)
 		res.TraceDrops = trres.Run.Drops
-		out = append(out, res)
+		return archOut{res: res}
+	}, exp.Options{Workers: opts.Workers, Progress: opts.Progress})
+	var out []CompareResult
+	for _, o := range results {
+		if o.err != nil {
+			return nil, o.err
+		}
+		out = append(out, o.res)
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"phastlane/internal/coherence"
+	"phastlane/internal/exp"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
@@ -19,6 +20,12 @@ type Fig9Opts struct {
 	// Warmup and Measure cycles per point; zero uses RunRate defaults.
 	Warmup, Measure int
 	Seed            int64
+	// Workers sizes the pool the (pattern x config) curves fan out over;
+	// values below 1 use one worker per core. Results are identical for
+	// any worker count.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) curve counts.
+	Progress func(done, total int)
 }
 
 // DefaultFig9Rates spans from deep pre-saturation to past the knee.
@@ -39,38 +46,56 @@ type Fig9Result struct {
 }
 
 // Fig9 sweeps the four permutation patterns over the Fig. 9
-// configurations.
+// configurations. The (pattern x config) curves are independent, so they
+// fan out over the exp worker pool; within a curve, rates run in order so
+// the first-saturated-point early exit wastes no work. Every curve builds
+// fresh networks and patterns, making the output bit-identical for any
+// worker count.
 func Fig9(opts Fig9Opts) []Fig9Result {
 	rates := opts.Rates
 	if rates == nil {
 		rates = DefaultFig9Rates()
 	}
-	var out []Fig9Result
-	for _, pattern := range traffic.Patterns(64) {
-		res := Fig9Result{Pattern: pattern.Name()}
-		for _, cfg := range Fig9Configs() {
-			cfg := cfg
-			var pts []sim.SweepPoint
-			for _, rate := range rates {
-				net := cfg.Build(opts.Seed + 1)
-				r := sim.RunRate(net, sim.RateConfig{
-					Pattern: pattern, Rate: rate,
-					Warmup: opts.Warmup, Measure: opts.Measure,
-					Seed: opts.Seed,
-				})
-				pts = append(pts, sim.SweepPoint{
-					Rate:       rate,
-					AvgLatency: r.Run.Latency.Mean(),
-					Throughput: r.Run.ThroughputPerNode(net.Nodes()),
-					Saturated:  r.Saturated,
-				})
-				if r.Saturated {
-					break // the curve has left the plot
-				}
-			}
-			res.Curves = append(res.Curves, Fig9Curve{Config: cfg.Name, Points: pts})
+	patterns := traffic.Patterns(64)
+	configs := Fig9Configs()
+	type job struct{ pi, ci int }
+	jobs := make([]job, 0, len(patterns)*len(configs))
+	for pi := range patterns {
+		for ci := range configs {
+			jobs = append(jobs, job{pi, ci})
 		}
-		out = append(out, res)
+	}
+	curves := exp.Run(jobs, func(_ int, j job) []sim.SweepPoint {
+		// A fresh pattern per curve keeps stateful patterns (none in
+		// the Fig. 9 set today) from sharing RNGs across workers.
+		pattern := traffic.Patterns(64)[j.pi]
+		cfg := configs[j.ci]
+		var pts []sim.SweepPoint
+		for _, rate := range rates {
+			net := cfg.Build(opts.Seed + 1)
+			r := sim.RunRate(net, sim.RateConfig{
+				Pattern: pattern, Rate: rate,
+				Warmup: opts.Warmup, Measure: opts.Measure,
+				Seed: opts.Seed,
+			})
+			pts = append(pts, sim.SweepPoint{
+				Rate:       rate,
+				AvgLatency: r.Run.Latency.Mean(),
+				Throughput: r.Run.ThroughputPerNode(net.Nodes()),
+				Saturated:  r.Saturated,
+			})
+			if r.Saturated {
+				break // the curve has left the plot
+			}
+		}
+		return pts
+	}, exp.Options{Workers: opts.Workers, Progress: opts.Progress})
+	out := make([]Fig9Result, len(patterns))
+	for ji, j := range jobs {
+		if out[j.pi].Pattern == "" {
+			out[j.pi].Pattern = patterns[j.pi].Name()
+		}
+		out[j.pi].Curves = append(out[j.pi].Curves, Fig9Curve{Config: configs[j.ci].Name, Points: curves[ji]})
 	}
 	return out
 }
@@ -141,6 +166,11 @@ type SplashOpts struct {
 	// Limit caps each replay's cycles (0 = RunTrace default).
 	Limit int64
 	Seed  int64
+	// Workers sizes the pool the (benchmark x config) replays fan out
+	// over; values below 1 use one worker per core.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) replay counts.
+	Progress func(done, total int)
 }
 
 // SplashRow holds one benchmark's results across every configuration,
@@ -169,9 +199,12 @@ func (r SplashRow) Speedup(cfg string) float64 {
 }
 
 // Splash generates each benchmark's trace once and replays it on the
-// Electrical3 baseline plus every Fig. 10 configuration.
+// Electrical3 baseline plus every Fig. 10 configuration. Trace generation
+// fans out per benchmark and the (benchmark x config) replays fan out as
+// one flat grid; each replay builds its own network and only reads the
+// shared trace, so results match a serial run exactly.
 func Splash(opts SplashOpts) ([]SplashRow, error) {
-	var rows []SplashRow
+	var benches []coherence.Params
 	for _, p := range coherence.Benchmarks() {
 		if !selected(p.Name, opts.Benchmarks) {
 			continue
@@ -179,30 +212,68 @@ func Splash(opts SplashOpts) ([]SplashRow, error) {
 		if opts.Messages > 0 {
 			p.Messages = opts.Messages
 		}
+		benches = append(benches, p)
+	}
+	engine := exp.Options{Workers: opts.Workers}
+
+	type traceOut struct {
+		tr  *trace.Trace
+		err error
+	}
+	traces := exp.Run(benches, func(_ int, p coherence.Params) traceOut {
 		tr, err := coherence.GenerateTrace(p, coherence.DefaultConfig(), opts.Seed+11)
-		if err != nil {
-			return nil, err
+		return traceOut{tr, err}
+	}, engine)
+	for i, tout := range traces {
+		if tout.err != nil {
+			return nil, fmt.Errorf("%s: %w", benches[i].Name, tout.err)
 		}
-		row := SplashRow{
+	}
+
+	configs := append([]NetConfig{Electrical3}, Fig10Configs()...)
+	type job struct{ bi, ci int }
+	jobs := make([]job, 0, len(benches)*len(configs))
+	for bi := range benches {
+		for ci := range configs {
+			jobs = append(jobs, job{bi, ci})
+		}
+	}
+	type replayOut struct {
+		res sim.Result
+		err error
+	}
+	engine.Progress = opts.Progress
+	replays := exp.Run(jobs, func(_ int, j job) replayOut {
+		cfg := configs[j.ci]
+		res, err := sim.RunTrace(cfg.Build(opts.Seed+3), traces[j.bi].tr, sim.ReplayConfig{Limit: opts.Limit})
+		if err != nil {
+			err = fmt.Errorf("%s on %s: %w", benches[j.bi].Name, cfg.Name, err)
+		}
+		return replayOut{res, err}
+	}, engine)
+
+	rows := make([]SplashRow, len(benches))
+	for bi, p := range benches {
+		rows[bi] = SplashRow{
 			Benchmark: p.Name,
-			Messages:  len(tr.Messages),
+			Messages:  len(traces[bi].tr.Messages),
 			Latency:   map[string]float64{},
 			Makespan:  map[string]int64{},
 			PowerW:    map[string]float64{},
 			Drops:     map[string]int64{},
 		}
-		configs := append([]NetConfig{Electrical3}, Fig10Configs()...)
-		for _, cfg := range configs {
-			res, err := sim.RunTrace(cfg.Build(opts.Seed+3), tr, sim.ReplayConfig{Limit: opts.Limit})
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", p.Name, cfg.Name, err)
-			}
-			row.Latency[cfg.Name] = res.Run.Latency.Mean()
-			row.Makespan[cfg.Name] = res.Makespan
-			row.PowerW[cfg.Name] = res.Run.PowerW(photonic.DefaultClockGHz)
-			row.Drops[cfg.Name] = res.Run.Drops
+	}
+	for ji, j := range jobs {
+		out := replays[ji]
+		if out.err != nil {
+			return nil, out.err
 		}
-		rows = append(rows, row)
+		row := &rows[j.bi]
+		name := configs[j.ci].Name
+		row.Latency[name] = out.res.Run.Latency.Mean()
+		row.Makespan[name] = out.res.Makespan
+		row.PowerW[name] = out.res.Run.PowerW(photonic.DefaultClockGHz)
+		row.Drops[name] = out.res.Run.Drops
 	}
 	return rows, nil
 }

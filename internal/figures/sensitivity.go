@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"phastlane/internal/core"
+	"phastlane/internal/exp"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
@@ -20,6 +21,11 @@ type SensitivityOpts struct {
 	Benchmark string
 	Messages  int
 	Seed      int64
+	// Workers sizes the pool the knob settings fan out over; values
+	// below 1 use one worker per core.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) point counts.
+	Progress func(done, total int)
 }
 
 // SensitivityPoint is one knob setting's outcome.
@@ -31,8 +37,58 @@ type SensitivityPoint struct {
 	PowerW  float64
 }
 
+// sensitivityJob is one knob setting awaiting its run.
+type sensitivityJob struct {
+	knob, value string
+	mutate      func(*core.Config)
+}
+
+// sensitivityJobs enumerates the one-at-a-time sweep grid in report order.
+func sensitivityJobs() []sensitivityJob {
+	var jobs []sensitivityJob
+	add := func(knob, value string, mutate func(*core.Config)) {
+		jobs = append(jobs, sensitivityJob{knob, value, mutate})
+	}
+	for _, hops := range []int{2, 4, 5, 8} {
+		h := hops
+		add("MaxHops", fmt.Sprint(h), func(c *core.Config) { c.MaxHops = h })
+	}
+	for _, buf := range []int{4, 10, 32, 64, -1} {
+		b := buf
+		v := fmt.Sprint(b)
+		if b < 0 {
+			v = "inf"
+		}
+		add("BufferEntries", v, func(c *core.Config) { c.BufferEntries = b })
+	}
+	for _, bo := range []int{1, 8, 64, 256} {
+		m := bo
+		add("BackoffMax", fmt.Sprint(m), func(c *core.Config) {
+			if c.BackoffBase > m {
+				c.BackoffBase = m
+			}
+			c.BackoffMax = m
+		})
+	}
+	for _, nic := range []int{8, 20, 50, 200} {
+		v := nic
+		add("NICEntries", fmt.Sprint(v), func(c *core.Config) { c.NICEntries = v })
+	}
+	for _, eff := range []float64{0.97, 0.98, 0.99, 0.995} {
+		e := eff
+		add("CrossingEff", stats.F(e*100)+"%", func(c *core.Config) { c.CrossingEff = e })
+	}
+	for _, arb := range []core.Arbiter{core.ArbRotating, core.ArbOldestFirst, core.ArbLongestQueue} {
+		a := arb
+		add("Arbiter", a.String(), func(c *core.Config) { c.Arbiter = a })
+	}
+	return jobs
+}
+
 // Sensitivity runs the one-at-a-time sweeps and returns all points,
-// grouped by knob in a stable order.
+// grouped by knob in a stable order. The knob settings are independent
+// replays of one shared trace, so they fan out over the exp worker pool;
+// each point builds its own network from a fresh config.
 func Sensitivity(opts SensitivityOpts) ([]SensitivityPoint, error) {
 	if opts.Benchmark == "" {
 		opts.Benchmark = "Barnes"
@@ -44,68 +100,32 @@ func Sensitivity(opts SensitivityOpts) ([]SensitivityPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pts []SensitivityPoint
-	add := func(knob, value string, mutate func(*core.Config)) error {
+	jobs := sensitivityJobs()
+	type out struct {
+		pt  SensitivityPoint
+		err error
+	}
+	results := exp.Run(jobs, func(_ int, j sensitivityJob) out {
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed + 7
-		mutate(&cfg)
+		j.mutate(&cfg)
 		res, err := sim.RunTrace(core.New(cfg), tr, sim.ReplayConfig{})
 		if err != nil {
-			return fmt.Errorf("%s=%s: %w", knob, value, err)
+			return out{err: fmt.Errorf("%s=%s: %w", j.knob, j.value, err)}
 		}
-		pts = append(pts, SensitivityPoint{
-			Knob: knob, Value: value,
+		return out{pt: SensitivityPoint{
+			Knob: j.knob, Value: j.value,
 			Latency: res.Run.Latency.Mean(),
 			Drops:   res.Run.Drops,
 			PowerW:  res.Run.PowerW(photonic.DefaultClockGHz),
-		})
-		return nil
-	}
-
-	for _, hops := range []int{2, 4, 5, 8} {
-		h := hops
-		if err := add("MaxHops", fmt.Sprint(h), func(c *core.Config) { c.MaxHops = h }); err != nil {
-			return nil, err
+		}}
+	}, exp.Options{Workers: opts.Workers, Progress: opts.Progress})
+	pts := make([]SensitivityPoint, 0, len(results))
+	for _, o := range results {
+		if o.err != nil {
+			return nil, o.err
 		}
-	}
-	for _, buf := range []int{4, 10, 32, 64, -1} {
-		b := buf
-		v := fmt.Sprint(b)
-		if b < 0 {
-			v = "inf"
-		}
-		if err := add("BufferEntries", v, func(c *core.Config) { c.BufferEntries = b }); err != nil {
-			return nil, err
-		}
-	}
-	for _, bo := range []int{1, 8, 64, 256} {
-		m := bo
-		if err := add("BackoffMax", fmt.Sprint(m), func(c *core.Config) {
-			if c.BackoffBase > m {
-				c.BackoffBase = m
-			}
-			c.BackoffMax = m
-		}); err != nil {
-			return nil, err
-		}
-	}
-	for _, nic := range []int{8, 20, 50, 200} {
-		v := nic
-		if err := add("NICEntries", fmt.Sprint(v), func(c *core.Config) { c.NICEntries = v }); err != nil {
-			return nil, err
-		}
-	}
-	for _, eff := range []float64{0.97, 0.98, 0.99, 0.995} {
-		e := eff
-		if err := add("CrossingEff", stats.F(e*100)+"%", func(c *core.Config) { c.CrossingEff = e }); err != nil {
-			return nil, err
-		}
-	}
-	for _, arb := range []core.Arbiter{core.ArbRotating, core.ArbOldestFirst, core.ArbLongestQueue} {
-		a := arb
-		if err := add("Arbiter", a.String(), func(c *core.Config) { c.Arbiter = a }); err != nil {
-			return nil, err
-		}
+		pts = append(pts, o.pt)
 	}
 	return pts, nil
 }

@@ -1,0 +1,142 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/mesh"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// Property and metamorphic tests for the RunRate harness: simulator-
+// independent invariants that must hold for any network implementing
+// sim.Network, at any load.
+
+// minPatternHops returns the smallest hop distance any packet of the
+// pattern travels on an 8x8 mesh: a lower bound on delivery work.
+func minPatternHops(p traffic.Pattern) int {
+	m := mesh.New(8, 8)
+	min := math.MaxInt
+	for n := 0; n < 64; n++ {
+		src := mesh.NodeID(n)
+		dst := p.Dest(src)
+		if dst == src {
+			continue // self-directed slots are never injected
+		}
+		if d := m.HopDistance(src, dst); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+func TestRunRateConservationInvariants(t *testing.T) {
+	patterns := []traffic.Pattern{
+		traffic.BitComplement(64), traffic.Shuffle(64), traffic.Transpose(64),
+	}
+	nets := []struct {
+		name string
+		make func() sim.Network
+		// minCyclesPerHop converts the pattern's minimal hop count
+		// into a latency floor: the optical network covers up to
+		// MaxHops links per cycle, the electrical baseline pays the
+		// router pipeline every hop.
+		minCycles func(hops int) float64
+	}{
+		{"phastlane", optical, func(hops int) float64 {
+			return math.Ceil(float64(hops) / float64(core.DefaultConfig().MaxHops))
+		}},
+		{"electrical", baseline, func(hops int) float64 {
+			return float64(hops * electrical.DefaultConfig().RouterDelay)
+		}},
+	}
+	for _, n := range nets {
+		for _, p := range patterns {
+			for _, rate := range []float64{0.02, 0.15, 0.60} {
+				r := sim.RunRate(n.make(), sim.RateConfig{
+					Pattern: p, Rate: rate,
+					Warmup: 200, Measure: 800, DrainLimit: 5000, Seed: 31,
+				})
+				name := n.name + "/" + p.Name()
+				// Conservation chain: nothing is delivered that was
+				// not injected, nothing injected that was not offered.
+				if r.Run.Delivered > r.Run.Injected {
+					t.Errorf("%s@%v: delivered %d > injected %d", name, rate, r.Run.Delivered, r.Run.Injected)
+				}
+				if r.Run.Injected > r.Offered {
+					t.Errorf("%s@%v: injected %d > offered %d", name, rate, r.Run.Injected, r.Offered)
+				}
+				if r.Offered == 0 {
+					t.Errorf("%s@%v: no packets offered at positive rate", name, rate)
+				}
+				// Latency floor: no packet beats the physics of its
+				// shortest possible journey.
+				if r.Run.Latency.Count() > 0 {
+					floor := n.minCycles(minPatternHops(p))
+					if mean := r.Run.Latency.Mean(); mean < floor {
+						t.Errorf("%s@%v: mean latency %.3f below minimal hop latency %.0f", name, rate, mean, floor)
+					}
+				}
+				// Throughput cannot meaningfully exceed the offered
+				// load; Bernoulli injection fluctuates around the
+				// nominal rate, so allow a small sampling margin.
+				if tp := r.Run.ThroughputPerNode(64); tp > rate*1.05+0.001 {
+					t.Errorf("%s@%v: throughput %.4f exceeds offered rate", name, rate, tp)
+				}
+			}
+		}
+	}
+}
+
+func TestRunRateZeroRateYieldsZeroThroughput(t *testing.T) {
+	for _, net := range networks() {
+		r := sim.RunRate(net, sim.RateConfig{
+			Pattern: traffic.Transpose(64), Rate: 0,
+			Warmup: 100, Measure: 500, Seed: 3,
+		})
+		if r.Offered != 0 || r.Run.Injected != 0 || r.Run.Delivered != 0 {
+			t.Errorf("%T: zero rate moved packets (offered %d, injected %d, delivered %d)",
+				net, r.Offered, r.Run.Injected, r.Run.Delivered)
+		}
+		if tp := r.Run.ThroughputPerNode(64); tp != 0 {
+			t.Errorf("%T: zero rate yields throughput %v", net, tp)
+		}
+		if r.Saturated {
+			t.Errorf("%T: zero rate flagged saturated", net)
+		}
+	}
+}
+
+// TestRunRateMeasureDoublingStable is the metamorphic check: well below
+// saturation, the measured mean latency is a property of the operating
+// point, not the observation window, so doubling Measure must not move it
+// by more than a sampling tolerance.
+func TestRunRateMeasureDoublingStable(t *testing.T) {
+	for _, n := range []struct {
+		name string
+		make func() sim.Network
+	}{{"phastlane", optical}, {"electrical", baseline}} {
+		base := sim.RunRate(n.make(), sim.RateConfig{
+			Pattern: traffic.Transpose(64), Rate: 0.05,
+			Warmup: 500, Measure: 2000, Seed: 17,
+		})
+		doubled := sim.RunRate(n.make(), sim.RateConfig{
+			Pattern: traffic.Transpose(64), Rate: 0.05,
+			Warmup: 500, Measure: 4000, Seed: 17,
+		})
+		if base.Saturated || doubled.Saturated {
+			t.Fatalf("%s: operating point unexpectedly saturated", n.name)
+		}
+		m1, m2 := base.Run.Latency.Mean(), doubled.Run.Latency.Mean()
+		if m1 <= 0 || m2 <= 0 {
+			t.Fatalf("%s: empty latency sample", n.name)
+		}
+		if diff := math.Abs(m1-m2) / m1; diff > 0.15 {
+			t.Errorf("%s: doubling Measure moved mean latency %.3f -> %.3f (%.1f%%), want < 15%%",
+				n.name, m1, m2, diff*100)
+		}
+	}
+}

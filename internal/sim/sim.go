@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"phastlane/internal/exp"
 	"phastlane/internal/mesh"
 	"phastlane/internal/packet"
 	"phastlane/internal/stats"
@@ -54,6 +55,11 @@ type Result struct {
 	Run stats.Run
 	// OfferedRate is packets/node/cycle presented (synthetic runs).
 	OfferedRate float64
+	// Offered counts packets the traffic generator presented during a
+	// synthetic run, whether or not the NIC accepted them. The chain
+	// Delivered <= Injected <= Offered always holds: accepted packets
+	// are a subset of offered ones and deliveries a subset of those.
+	Offered int64
 	// Makespan is the delivery cycle of the last message (trace runs).
 	Makespan int64
 	// Saturated is set when the network failed to drain or its
@@ -148,6 +154,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 		stepTick()
 	}
 	res.Run.Cycles = int64(cfg.Measure)
+	res.Offered = offered
 	res.Run.Injected = accepted
 	res.Run.Delivered = int64(res.Run.Latency.Count())
 	copyCounters(&res.Run, net.Run())
@@ -294,6 +301,18 @@ func broadcastDsts(all []mesh.NodeID, src mesh.NodeID) []mesh.NodeID {
 }
 
 // SweepPoint is one (rate, latency) sample of a saturation sweep.
+//
+// Early-exit contract: Sweep stops appending points once two consecutive
+// points report Saturated, so a sweep's point slice is a prefix of its
+// rate grid ending at most one point past the second consecutive
+// saturated sample. Saturated itself is set by RunRate from either
+// symptom of overload — the network failed to drain within DrainLimit, or
+// accepted throughput fell below 90% of the offered load. Rates beyond
+// the early exit are never simulated and thus never appear in the slice;
+// SaturationRate consequently reports the highest non-saturated rate
+// among the points actually run, which is the intended reading (a
+// higher-rate point after two consecutive saturated ones could not be
+// non-saturated in any meaningful sense).
 type SweepPoint struct {
 	Rate       float64
 	AvgLatency float64
@@ -301,34 +320,64 @@ type SweepPoint struct {
 	Saturated  bool
 }
 
-// Sweep runs RunRate over the given rates, stopping early once two
-// consecutive points saturate. newNet must build a fresh network per point.
+// sweepCut is the early-exit predicate shared by the serial and parallel
+// sweeps: keep points up to and including the second of two consecutive
+// saturated ones, then stop.
+func sweepCut(prefix []SweepPoint) (int, bool) {
+	run := 0
+	for i, p := range prefix {
+		if !p.Saturated {
+			run = 0
+			continue
+		}
+		run++
+		if run >= 2 {
+			return i + 1, true
+		}
+	}
+	return len(prefix), false
+}
+
+// Sweep runs RunRate over the given rates on a worker pool sized to
+// runtime.GOMAXPROCS, stopping early once two consecutive points saturate
+// (see SweepPoint for the exact contract). newNet must build a fresh
+// network per point; every point runs on its own network instance with
+// the same base seed, so results are bit-identical to a serial sweep
+// regardless of scheduling.
 func Sweep(newNet func() Network, pattern traffic.Pattern, rates []float64, seed int64) []SweepPoint {
-	var pts []SweepPoint
-	saturatedRun := 0
-	for _, rate := range rates {
+	return SweepParallel(newNet, pattern, rates, seed, exp.Options{})
+}
+
+// SweepParallel is Sweep with explicit engine options (worker count,
+// progress callback). The early exit is honoured via chunked speculative
+// dispatch: points past the cutoff may be evaluated and discarded, but
+// the returned slice is exactly what the serial sweep produces.
+//
+// pattern.Dest is called concurrently from every worker, so the pattern
+// must be stateless (all the Fig. 9 bit-permutation patterns are).
+// Stateful patterns such as traffic.UniformRandom are not safe here; run
+// those with Workers: 1 or build one pattern per point yourself.
+func SweepParallel(newNet func() Network, pattern traffic.Pattern, rates []float64, seed int64, opt exp.Options) []SweepPoint {
+	pts := exp.RunUntil(rates, func(_ int, rate float64) SweepPoint {
 		net := newNet()
 		r := RunRate(net, RateConfig{Pattern: pattern, Rate: rate, Seed: seed})
-		pt := SweepPoint{
+		return SweepPoint{
 			Rate:       rate,
 			AvgLatency: r.Run.Latency.Mean(),
 			Throughput: r.Run.ThroughputPerNode(net.Nodes()),
 			Saturated:  r.Saturated,
 		}
-		pts = append(pts, pt)
-		if pt.Saturated {
-			saturatedRun++
-			if saturatedRun >= 2 {
-				break
-			}
-		} else {
-			saturatedRun = 0
-		}
+	}, sweepCut, opt)
+	if len(pts) == 0 {
+		return nil
 	}
 	return pts
 }
 
 // SaturationRate returns the highest non-saturated rate of a sweep, or 0.
+// It only sees the points Sweep actually ran: after the two-consecutive-
+// saturated early exit, higher rates are absent from pts by construction
+// (see SweepPoint), not silently treated as unsaturated.
 func SaturationRate(pts []SweepPoint) float64 {
 	best := 0.0
 	for _, p := range pts {

@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// The golden values below were captured from the serial, pre-engine
+// sim.Sweep (commit 030f018) on transpose traffic, seed 7, rates
+// {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}. They pin two contracts at once:
+// the simulators' numeric behaviour is unchanged by the parallel
+// experiment engine, and the two-consecutive-saturated early exit still
+// stops the sweep before the 0.45 point (five points, not six).
+var goldenRates = []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.45}
+
+var goldenOptical = []sim.SweepPoint{
+	{Rate: 0.05, AvgLatency: 1.946569683908046, Throughput: 0.0435, Saturated: false},
+	{Rate: 0.1, AvgLatency: 2.2867151711129075, Throughput: 0.0869765625, Saturated: false},
+	{Rate: 0.2, AvgLatency: 65.36322369400209, Throughput: 0.1574765625, Saturated: false},
+	{Rate: 0.3, AvgLatency: 136.7354320881391, Throughput: 0.18153125, Saturated: true},
+	{Rate: 0.4, AvgLatency: 152.53994557000303, Throughput: 0.19376953125, Saturated: true},
+}
+
+var goldenElectrical = []sim.SweepPoint{
+	{Rate: 0.05, AvgLatency: 20.229885057471265, Throughput: 0.0435, Saturated: false},
+	{Rate: 0.1, AvgLatency: 20.516796910087127, Throughput: 0.0869765625, Saturated: false},
+	{Rate: 0.2, AvgLatency: 109.64624294698119, Throughput: 0.15715234375, Saturated: false},
+	{Rate: 0.3, AvgLatency: 173.4296725299804, Throughput: 0.18143359375, Saturated: true},
+	{Rate: 0.4, AvgLatency: 208.24885453040793, Throughput: 0.19352734375, Saturated: true},
+}
+
+func goldenOpticalNet() sim.Network {
+	cfg := core.DefaultConfig()
+	cfg.MaxHops = 4
+	cfg.Seed = 7
+	return core.New(cfg)
+}
+
+func goldenElectricalNet() sim.Network {
+	cfg := electrical.DefaultConfig()
+	cfg.Seed = 7
+	return electrical.New(cfg)
+}
+
+func TestSweepMatchesPreRefactorGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep")
+	}
+	for _, tc := range []struct {
+		name   string
+		newNet func() sim.Network
+		want   []sim.SweepPoint
+	}{
+		{"optical", goldenOpticalNet, goldenOptical},
+		{"electrical", goldenElectricalNet, goldenElectrical},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := sim.Sweep(tc.newNet, traffic.Transpose(64), goldenRates, 7)
+			if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", tc.want) {
+				t.Errorf("sweep drifted from pre-refactor golden capture:\n got: %#v\nwant: %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepEarlyExitContract pins the early-exit behaviour documented on
+// SweepPoint: the sweep stops after two consecutive saturated points, so
+// later rates are never simulated - and SaturationRate only considers the
+// points actually run, even when a later (never-run) rate would have been
+// unsaturated. The rate grid deliberately places easy rates after the
+// saturating ones to prove they are skipped.
+func TestSweepEarlyExitContract(t *testing.T) {
+	rates := []float64{0.01, 0.9, 1.0, 0.02, 0.05}
+	pts := sim.Sweep(func() sim.Network {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 7
+		return core.New(cfg)
+	}, traffic.Transpose(64), rates, 7)
+	if len(pts) != 3 {
+		t.Fatalf("sweep ran %d points, want 3 (early exit after two consecutive saturated)", len(pts))
+	}
+	if pts[0].Saturated || !pts[1].Saturated || !pts[2].Saturated {
+		t.Fatalf("unexpected saturation pattern: %+v", pts)
+	}
+	for i, want := range []float64{0.01, 0.9, 1.0} {
+		if pts[i].Rate != want {
+			t.Errorf("point %d rate %v, want %v", i, pts[i].Rate, want)
+		}
+	}
+	if sat := sim.SaturationRate(pts); sat != 0.01 {
+		t.Errorf("SaturationRate = %v, want 0.01: rates beyond the early exit must not count", sat)
+	}
+}
