@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 )
 
@@ -23,6 +24,9 @@ func main() {
 	messages := flag.Int("messages", 8000, "trace length")
 	measure := flag.Int("measure", 3000, "measurement cycles per synthetic point")
 	seed := flag.Int64("seed", 1, "random seed")
+	traceOut := flag.String("trace-out", "", "re-run the uniform point and write a Perfetto trace to this file")
+	metricsOut := flag.String("metrics-out", "", "write the per-node event matrices as CSV to this file")
+	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
 	flag.Parse()
 
 	results, err := figures.Compare(figures.CompareOpts{
@@ -30,11 +34,37 @@ func main() {
 		Measure: *measure, Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Println(figures.CompareTable(results, nil))
 	fmt.Println("Phastlane combines the bus designs' low unicast latency with")
 	fmt.Println("switched multicast, avoiding the single broadcast bus (Corona) and")
 	fmt.Println("the per-packet electrical setup round-trip (circuit switching).")
+
+	bundle := figures.BundleOpts{TracePath: *traceOut, MetricsPath: *metricsOut, Heatmap: *heatmap}
+	if !bundle.Enabled() {
+		return
+	}
+	// Deep-dive every architecture at the shared uniform point. The
+	// related-work networks carry no event instrumentation, so only their
+	// harness-side time series fill in; the bundle says so per network.
+	var inspects []figures.InspectOpts
+	for _, cfg := range figures.CompareConfigs() {
+		p, err := figures.PatternByName("Uniform", 64, *seed)
+		if err != nil {
+			fail(err)
+		}
+		inspects = append(inspects, figures.InspectOpts{
+			Name: cfg.Name, Build: cfg.Build, Width: 8, Height: 8,
+			Pattern: p, Rate: 0.10, Measure: *measure, Seed: *seed,
+		})
+	}
+	if _, err := figures.InspectBundle(inspects, exp.Options{}, bundle, os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
 }

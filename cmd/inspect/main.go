@@ -1,0 +1,112 @@
+// Command inspect replays one (configuration, rate) point with the full
+// observability bundle attached and dumps everything it sees: a summary
+// table, per-node event matrices, cycle-windowed time series, ASCII
+// link-utilization and drop heatmaps, and a Perfetto-compatible event
+// trace that loads in ui.perfetto.dev or chrome://tracing. It is the deep
+// dive behind a single point of a cmd/sweep curve.
+//
+// Usage:
+//
+//	inspect                                  # both networks, uniform 0.10
+//	inspect -net optical -rate 0.3 -heatmap  # one network, past the knee
+//	inspect -trace-out trace.json            # Perfetto trace of both
+//	inspect -metrics-out m.csv -series-out s.csv
+//	inspect -width 4 -height 4 -measure 500  # small mesh, short run
+//	inspect -pprof cpu.out                   # CPU profile of the replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/exp"
+	"phastlane/internal/figures"
+	"phastlane/internal/sim"
+)
+
+func main() {
+	netFlag := flag.String("net", "both", "network to inspect: both, optical, electrical")
+	width := flag.Int("width", 8, "mesh width")
+	height := flag.Int("height", 8, "mesh height")
+	pattern := flag.String("pattern", "Uniform", "traffic pattern (Uniform, BitComp, BitRev, Shuffle, Transpose)")
+	rate := flag.Float64("rate", 0.10, "injection rate (packets/node/cycle)")
+	warmup := flag.Int("warmup", 500, "warmup cycles")
+	measure := flag.Int("measure", 2000, "measurement cycles")
+	window := flag.Int64("window", 0, "sampler bin width in cycles (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	hops := flag.Int("hops", 4, "optical MaxHops (4, 5 or 8)")
+	buffers := flag.Int("buffers", 10, "optical buffer entries (-1 = infinite)")
+	delay := flag.Int("delay", 3, "electrical router delay in cycles (2 or 3)")
+	traceOut := flag.String("trace-out", "", "write Perfetto trace-event JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write per-node event matrices as CSV to this file")
+	seriesOut := flag.String("series-out", "", "write cycle-windowed time series as CSV to this file")
+	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the replay to this file")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
+	flag.Parse()
+
+	w, h := *width, *height
+	var opts []figures.InspectOpts
+	add := func(name string, build func(seed int64) sim.Network) {
+		p, err := figures.PatternByName(*pattern, w*h, *seed)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, figures.InspectOpts{
+			Name: name, Build: build, Width: w, Height: h,
+			Pattern: p, Rate: *rate,
+			Warmup: *warmup, Measure: *measure,
+			Window: *window, Seed: *seed,
+		})
+	}
+	if *netFlag == "both" || *netFlag == "optical" {
+		add("optical", func(seed int64) sim.Network {
+			cfg := core.DefaultConfig()
+			cfg.Width, cfg.Height = w, h
+			cfg.MaxHops = *hops
+			cfg.BufferEntries = *buffers
+			cfg.Seed = seed
+			return core.New(cfg)
+		})
+	}
+	if *netFlag == "both" || *netFlag == "electrical" {
+		add("electrical", func(seed int64) sim.Network {
+			cfg := electrical.DefaultConfig()
+			cfg.Width, cfg.Height = w, h
+			cfg.RouterDelay = *delay
+			cfg.Seed = seed
+			return electrical.New(cfg)
+		})
+	}
+	if len(opts) == 0 {
+		fail(fmt.Errorf("unknown -net %q (want both, optical or electrical)", *netFlag))
+	}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	_, err := figures.InspectBundle(opts, exp.Options{Workers: *parallel}, figures.BundleOpts{
+		TracePath: *traceOut, MetricsPath: *metricsOut, SeriesPath: *seriesOut,
+		Heatmap: *heatmap,
+	}, os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "inspect:", err)
+	os.Exit(1)
+}

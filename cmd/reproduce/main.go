@@ -31,6 +31,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	quiet := flag.Bool("quiet", false, "suppress progress log lines")
+	traceOut := flag.Bool("trace-out", false, "write a Perfetto trace of the inspection stage to <out>/inspect_trace.json")
+	metricsOut := flag.Bool("metrics-out", false, "write per-node event matrices to <out>/inspect_metrics.csv")
+	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for the inspection stage")
 	flag.Parse()
 
 	progress := func(label string) func(done, total int) {
@@ -113,6 +116,37 @@ func main() {
 		fail(err)
 	}
 	write("sensitivity_knobs", figures.SensitivityTable(pts, sv.Benchmark))
+
+	// Observability deep dive: the headline pair on uniform traffic at
+	// 0.10 packets/node/cycle, dumped as trace + matrices + series.
+	bundle := figures.BundleOpts{Heatmap: *heatmap}
+	if *traceOut {
+		bundle.TracePath = filepath.Join(*out, "inspect_trace.json")
+	}
+	if *metricsOut {
+		bundle.MetricsPath = filepath.Join(*out, "inspect_metrics.csv")
+		bundle.SeriesPath = filepath.Join(*out, "inspect_series.csv")
+	}
+	if bundle.Enabled() {
+		warmup, measure := 1000, 4000
+		if *quick {
+			warmup, measure = 300, 1000
+		}
+		var inspects []figures.InspectOpts
+		for _, cfg := range []figures.NetConfig{figures.Optical4, figures.Electrical3} {
+			p, err := figures.PatternByName("Uniform", 64, *seed)
+			if err != nil {
+				fail(err)
+			}
+			inspects = append(inspects, figures.InspectOpts{
+				Name: cfg.Name, Build: cfg.Build, Width: 8, Height: 8,
+				Pattern: p, Rate: 0.10, Warmup: warmup, Measure: measure, Seed: *seed,
+			})
+		}
+		if _, err := figures.InspectBundle(inspects, exp.Options{Workers: *parallel}, bundle, os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Printf("reproduce: done in %.1fs\n", time.Since(start).Seconds())
 }
 

@@ -10,6 +10,8 @@
 //	sweep -pattern Shuffle       # one pattern
 //	sweep -measure 8000          # longer measurement windows
 //	sweep -parallel 4            # explicit worker count (0 = all cores)
+//	sweep -tails -csv            # long form with p50/p95/p99 columns
+//	sweep -heatmap -trace-out t.json  # deep-dive each curve's knee point
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
 )
 
 func main() {
@@ -34,6 +38,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	quiet := flag.Bool("quiet", false, "suppress progress log lines")
 	ratesFlag := flag.String("rates", "", "comma-separated injection rates (default grid if empty)")
+	tails := flag.Bool("tails", false, "emit long-form tables with p50/p95/p99 latency columns")
+	traceOut := flag.String("trace-out", "", "re-run each curve's knee point and write a Perfetto trace to this file")
+	metricsOut := flag.String("metrics-out", "", "write the knee points' per-node event matrices as CSV to this file")
+	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for each curve's knee point")
 	flag.Parse()
 
 	opts := figures.Fig9Opts{Warmup: *warmup, Measure: *measure, Seed: *seed, Workers: *parallel}
@@ -55,6 +63,12 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
 	}
+	table := func(res figures.Fig9Result) *stats.Table {
+		if *tails {
+			return figures.Fig9TailTable(res)
+		}
+		return figures.Fig9Table(res)
+	}
 	for _, res := range results {
 		if *pattern != "" && res.Pattern != *pattern {
 			continue
@@ -63,9 +77,58 @@ func main() {
 		case *plot:
 			fmt.Println(figures.Fig9Plot(res))
 		case *csv:
-			fmt.Print(figures.Fig9Table(res).CSV())
+			fmt.Print(table(res).CSV())
 		default:
-			fmt.Println(figures.Fig9Table(res))
+			fmt.Println(table(res))
 		}
 	}
+
+	bundle := figures.BundleOpts{TracePath: *traceOut, MetricsPath: *metricsOut, Heatmap: *heatmap}
+	if !bundle.Enabled() {
+		return
+	}
+	// Deep-dive each displayed curve at its saturation knee (the highest
+	// rate that stayed unsaturated; the lowest swept rate if none did).
+	var inspects []figures.InspectOpts
+	for _, res := range results {
+		if *pattern != "" && res.Pattern != *pattern {
+			continue
+		}
+		for _, curve := range res.Curves {
+			if len(curve.Points) == 0 {
+				continue
+			}
+			rate := sim.SaturationRate(curve.Points)
+			if rate == 0 {
+				rate = curve.Points[0].Rate
+			}
+			cfg, ok := configByName(curve.Config)
+			if !ok {
+				continue
+			}
+			p, err := figures.PatternByName(res.Pattern, 64, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(2)
+			}
+			inspects = append(inspects, figures.InspectOpts{
+				Name: res.Pattern + "/" + curve.Config, Build: cfg.Build,
+				Width: 8, Height: 8, Pattern: p, Rate: rate,
+				Warmup: *warmup, Measure: *measure, Seed: *seed,
+			})
+		}
+	}
+	if _, err := figures.InspectBundle(inspects, exp.Options{Workers: *parallel}, bundle, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func configByName(name string) (figures.NetConfig, bool) {
+	for _, c := range figures.Fig9Configs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return figures.NetConfig{}, false
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/sim"
+)
+
+// The event stream is the contract the observability layer builds on, so
+// its semantics get their own tests: per-message lifecycle ordering and
+// the drop/retry pairing, checked over a loaded run that actually drops.
+
+// eventLog drives a small-buffer hot-spot run (two senders to one sink,
+// plus a broadcast) to quiescence and returns the full event stream.
+func eventLog(t *testing.T) []Event {
+	t.Helper()
+	n := mustNew(t, func(c *Config) { c.BufferEntries = 1; c.Seed = 7 })
+	var events []Event
+	n.SetTracer(func(e Event) { events = append(events, e) })
+	var id uint64
+	for i := 0; i < 12; i++ {
+		id++
+		n.Inject(sim.Message{ID: id, Src: 0, Dsts: []mesh.NodeID{3}, Op: packet.OpSynthetic})
+		id++
+		n.Inject(sim.Message{ID: id, Src: 1, Dsts: []mesh.NodeID{3}, Op: packet.OpSynthetic})
+	}
+	all := make([]mesh.NodeID, 0, 63)
+	for d := mesh.NodeID(1); d < 64; d++ {
+		all = append(all, d)
+	}
+	id++
+	n.Inject(sim.Message{ID: id, Src: 0, Dsts: all, Op: packet.OpReadReq})
+	stepUntilQuiescent(t, n, 3000)
+	if len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+	return events
+}
+
+// TestEventStreamDropRetryPairing: every drop must eventually be followed
+// by a retry of the same message - a dropped packet is never silently
+// lost, the source always retransmits it.
+func TestEventStreamDropRetryPairing(t *testing.T) {
+	events := eventLog(t)
+	drops := 0
+	for i, e := range events {
+		if e.Kind != EventDrop {
+			continue
+		}
+		drops++
+		matched := false
+		for _, later := range events[i+1:] {
+			if later.MsgID == e.MsgID && later.Kind == EventRetry {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("drop at index %d (%v) never followed by a retry", i, e)
+		}
+	}
+	if drops == 0 {
+		t.Fatal("run produced no drops; the scenario no longer exercises the pairing")
+	}
+	// Per-message bookkeeping must balance exactly once the network
+	// quiesces: as many retries as drops.
+	dropsBy, retriesBy := map[uint64]int{}, map[uint64]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case EventDrop:
+			dropsBy[e.MsgID]++
+		case EventRetry:
+			retriesBy[e.MsgID]++
+		}
+	}
+	for id, d := range dropsBy {
+		if retriesBy[id] != d {
+			t.Errorf("msg %d: %d drops but %d retries", id, d, retriesBy[id])
+		}
+	}
+}
+
+// TestEventStreamLifecycleOrdering: every message's first event is its
+// launch, every message ends delivered (at least one eject), and cycles
+// never run backwards.
+func TestEventStreamLifecycleOrdering(t *testing.T) {
+	events := eventLog(t)
+	first := map[uint64]EventKind{}
+	ejects := map[uint64]int{}
+	var lastCycle int64
+	for i, e := range events {
+		if e.Cycle < lastCycle {
+			t.Fatalf("event %d went back in time: %v after cycle %d", i, e, lastCycle)
+		}
+		lastCycle = e.Cycle
+		if _, seen := first[e.MsgID]; !seen {
+			first[e.MsgID] = e.Kind
+		}
+		switch e.Kind {
+		case EventEject, EventTap:
+			ejects[e.MsgID]++
+			if first[e.MsgID] != EventLaunch {
+				t.Fatalf("msg %d delivered before any launch (first event %v)", e.MsgID, first[e.MsgID])
+			}
+		}
+	}
+	for id, k := range first {
+		if k != EventLaunch {
+			t.Errorf("msg %d: first event %v, want launch", id, k)
+		}
+		if ejects[id] == 0 {
+			t.Errorf("msg %d launched but never delivered", id)
+		}
+	}
+	// The quiescent run delivered everything: the broadcast reached all
+	// 63 destinations (retransmissions after drops may deliver to some
+	// of them more than once at the event level, never fewer).
+	if got := ejects[25]; got < 63 {
+		t.Errorf("broadcast msg 25 delivered %d times, want >= 63", got)
+	}
+}

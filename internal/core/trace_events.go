@@ -1,79 +1,52 @@
 package core
 
 import (
-	"fmt"
-
 	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
 )
 
-// EventKind classifies a router-level event for tracing.
-type EventKind int
+// The event vocabulary lives in internal/obs so both the Phastlane
+// simulator and the electrical baseline report through one set of kinds
+// and one Event shape. The aliases below keep the original core names
+// (EventLaunch, core.Event, ...) working for existing callers and tests.
 
-// Event kinds, in rough lifecycle order.
+// EventKind classifies a router-level event for tracing.
+type EventKind = obs.Kind
+
+// Event is one traced router action.
+type Event = obs.Event
+
+// Event kinds, in rough lifecycle order (see obs.Kind for the full,
+// cross-network vocabulary).
 const (
 	// EventLaunch: a packet leaves a buffer (or the NIC) onto its first
 	// link of the cycle.
-	EventLaunch EventKind = iota
+	EventLaunch = obs.KindLaunch
 	// EventPass: the packet transits a router toward another output.
-	EventPass
+	EventPass = obs.KindPass
 	// EventTap: a multicast tap delivers a copy to the local node while
 	// the packet continues.
-	EventTap
+	EventTap = obs.KindTap
 	// EventEject: the packet leaves the network at its destination.
-	EventEject
+	EventEject = obs.KindEject
 	// EventBuffer: the packet is captured into an input-port buffer
 	// (blocked, or an interim stop).
-	EventBuffer
+	EventBuffer = obs.KindBuffer
 	// EventDrop: the buffer was full; the drop signal returns to the
 	// responsible sender.
-	EventDrop
+	EventDrop = obs.KindDrop
 	// EventRetry: the dropped packet re-enters its owner's queue after
 	// backoff.
-	EventRetry
+	EventRetry = obs.KindRetry
 )
-
-// String names the kind.
-func (k EventKind) String() string {
-	switch k {
-	case EventLaunch:
-		return "launch"
-	case EventPass:
-		return "pass"
-	case EventTap:
-		return "tap"
-	case EventEject:
-		return "eject"
-	case EventBuffer:
-		return "buffer"
-	case EventDrop:
-		return "drop"
-	case EventRetry:
-		return "retry"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
-	}
-}
-
-// Event is one traced router action.
-type Event struct {
-	Cycle int64
-	Kind  EventKind
-	MsgID uint64
-	// Node is where the event happened; Dir its outgoing direction
-	// (meaningful for launch/pass).
-	Node mesh.NodeID
-	Dir  mesh.Dir
-}
-
-// String renders the event compactly, e.g. "c12 launch msg3 @27->N".
-func (e Event) String() string {
-	return fmt.Sprintf("c%d %s msg%d @%d->%s", e.Cycle, e.Kind, e.MsgID, e.Node, e.Dir)
-}
 
 // SetTracer installs a callback invoked synchronously for every router
 // event; nil disables tracing (the default — tracing costs nothing when
-// off). Intended for debugging and for tests that assert event sequences.
+// off). Intended for debugging, for tests that assert event sequences,
+// and for the obs.Collector observability bundle.
 func (n *Network) SetTracer(f func(Event)) { n.tracer = f }
+
+var _ obs.Traceable = (*Network)(nil)
 
 // emit reports an event to the tracer, if any.
 func (n *Network) emit(kind EventKind, msgID uint64, node mesh.NodeID, dir mesh.Dir) {

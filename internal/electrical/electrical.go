@@ -13,6 +13,7 @@ import (
 
 	"phastlane/internal/islip"
 	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
 	"phastlane/internal/photonic"
 	"phastlane/internal/power"
 	"phastlane/internal/sim"
@@ -126,11 +127,29 @@ type Network struct {
 	routers []erouter
 	transit []arrival
 	trees   map[string]*vctm.Tree
-	run     stats.Run
-	cycle   int64
+	// tracer receives router events when set (SetTracer).
+	tracer func(obs.Event)
+	run    stats.Run
+	cycle  int64
 }
 
-var _ sim.Network = (*Network)(nil)
+var (
+	_ sim.Network   = (*Network)(nil)
+	_ obs.Traceable = (*Network)(nil)
+)
+
+// SetTracer installs a callback invoked synchronously for every router
+// event, using the shared obs vocabulary (buffer occupancy, ejection, NIC
+// launch, VC allocation, switch traversal, credit stalls, multicast tree
+// forks); nil disables tracing — the default, costing nothing when off.
+func (n *Network) SetTracer(f func(obs.Event)) { n.tracer = f }
+
+// emit reports an event to the tracer, if any.
+func (n *Network) emit(kind obs.Kind, msgID uint64, node mesh.NodeID, dir mesh.Dir) {
+	if n.tracer != nil {
+		n.tracer(obs.Event{Cycle: n.cycle, Kind: kind, MsgID: msgID, Node: node, Dir: dir})
+	}
+}
 
 // New builds a baseline network; it panics on invalid configuration.
 func New(cfg Config) *Network {
@@ -259,6 +278,10 @@ func (n *Network) Step() []sim.Delivery {
 		bs, deliver := n.branchesAt(a.pkt, a.node)
 		*vc = vcState{pkt: a.pkt, branches: bs, deliver: deliver, reserved: false}
 		n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
+		n.emit(obs.KindBuffer, a.pkt.msgID, a.node, a.port)
+		if a.pkt.tree != nil && len(bs) > 1 {
+			n.emit(obs.KindTreeFork, a.pkt.msgID, a.node, mesh.Local)
+		}
 	}
 	n.transit = n.transit[:0]
 
@@ -274,6 +297,7 @@ func (n *Network) Step() []sim.Delivery {
 				}
 				deliveries = append(deliveries, sim.Delivery{MsgID: vc.pkt.msgID, Dst: mesh.NodeID(node)})
 				n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ
+				n.emit(obs.KindEject, vc.pkt.msgID, mesh.NodeID(node), mesh.Local)
 				vc.deliver = false
 				n.freeIfDone(vc)
 			}
@@ -297,6 +321,10 @@ func (n *Network) Step() []sim.Delivery {
 			bs, deliver := n.branchesAt(pkt, mesh.NodeID(node))
 			*vc = vcState{pkt: pkt, branches: bs, deliver: deliver}
 			n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
+			n.emit(obs.KindLaunch, pkt.msgID, mesh.NodeID(node), mesh.Local)
+			if pkt.tree != nil && len(bs) > 1 {
+				n.emit(obs.KindTreeFork, pkt.msgID, mesh.NodeID(node), mesh.Local)
+			}
 			break
 		}
 	}
@@ -378,6 +406,10 @@ func (n *Network) allocateVCs() {
 				anyFree = anyFree || free[v]
 			}
 			if !anyFree {
+				// Credit starvation: packets want this output but
+				// every downstream VC is occupied or inside its
+				// credit round-trip.
+				n.emit(obs.KindCreditStall, 0, mesh.NodeID(node), dir)
 				continue
 			}
 			match := r.va[out].Match(func(in, outVC int) bool {
@@ -397,6 +429,7 @@ func (n *Network) allocateVCs() {
 				}
 				down.vcs[inPort][outVC].reserved = true
 				n.run.ElectricalEnergyPJ += n.energy.ArbitrationPJ
+				n.emit(obs.KindVCAlloc, vc.pkt.msgID, mesh.NodeID(node), dir)
 			}
 		}
 	}
@@ -461,6 +494,7 @@ func (n *Network) allocateSwitch() {
 			n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ + n.energy.CrossbarPJ +
 				n.energy.LinkPJ + n.energy.ArbitrationPJ
 			n.run.LinkTraversals++
+			n.emit(obs.KindSwitch, vc.pkt.msgID, mesh.NodeID(node), dir)
 			n.freeIfDone(vc)
 		}
 	}

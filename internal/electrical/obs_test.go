@@ -1,0 +1,154 @@
+package electrical
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
+	"phastlane/internal/packet"
+	"phastlane/internal/sim"
+)
+
+func traceNet(t *testing.T, mutate func(*Config)) (*Network, *obs.Metrics) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n := New(cfg)
+	m := obs.NewMetrics(cfg.Width, cfg.Height)
+	n.SetTracer(m.Observe)
+	return n, m
+}
+
+func drain(t *testing.T, n *Network, limit int) []sim.Delivery {
+	t.Helper()
+	var all []sim.Delivery
+	for i := 0; i < limit; i++ {
+		all = append(all, n.Step()...)
+		if n.Quiescent() {
+			return all
+		}
+	}
+	t.Fatalf("network did not drain within %d cycles", limit)
+	return nil
+}
+
+// TestTracerUnicastLifecycle pins the electrical event vocabulary on a
+// simple two-hop unicast: NIC launch, VC allocations and switch
+// traversals per hop, buffer occupancy downstream, one ejection.
+func TestTracerUnicastLifecycle(t *testing.T) {
+	n, m := traceNet(t, nil)
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{2}, Op: packet.OpSynthetic})
+	deliveries := drain(t, n, 200)
+	if len(deliveries) != 1 || deliveries[0].Dst != 2 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	if got := m.Count(obs.KindLaunch, 0); got != 1 {
+		t.Errorf("launches at source = %d, want 1", got)
+	}
+	// Two hops 0->1->2: a VC allocation and a switch traversal at nodes
+	// 0 and 1, buffer arrivals at nodes 1 and 2.
+	for _, node := range []mesh.NodeID{0, 1} {
+		if got := m.Count(obs.KindSwitch, node); got != 1 {
+			t.Errorf("switch traversals at %d = %d, want 1", node, got)
+		}
+		if got := m.Count(obs.KindVCAlloc, node); got != 1 {
+			t.Errorf("VC allocations at %d = %d, want 1", node, got)
+		}
+		if got := m.Link(node, mesh.East); got != 1 {
+			t.Errorf("link use %d->E = %d, want 1", node, got)
+		}
+	}
+	for _, node := range []mesh.NodeID{1, 2} {
+		if got := m.Count(obs.KindBuffer, node); got != 1 {
+			t.Errorf("buffer arrivals at %d = %d, want 1", node, got)
+		}
+	}
+	if got := m.Count(obs.KindEject, 2); got != 1 {
+		t.Errorf("ejects at destination = %d, want 1", got)
+	}
+	if got := m.Total(obs.KindDrop); got != 0 {
+		t.Errorf("electrical network dropped %d packets", got)
+	}
+}
+
+// TestTracerBroadcastForks: a VCTM broadcast must fork at branch routers
+// and eject once per destination.
+func TestTracerBroadcastForks(t *testing.T) {
+	n, m := traceNet(t, nil)
+	var dsts []mesh.NodeID
+	for i := 1; i < 16; i++ {
+		dsts = append(dsts, mesh.NodeID(i))
+	}
+	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: dsts, Op: packet.OpReadReq})
+	deliveries := drain(t, n, 500)
+	if len(deliveries) != 15 {
+		t.Fatalf("broadcast delivered %d, want 15", len(deliveries))
+	}
+	if m.Total(obs.KindTreeFork) == 0 {
+		t.Error("no tree forks traced for a broadcast")
+	}
+	if got := m.Total(obs.KindEject); got != 15 {
+		t.Errorf("ejects = %d, want 15", got)
+	}
+	// The link matrix must equal the run's link-traversal counter.
+	var links int64
+	for node := 0; node < 16; node++ {
+		for d := 0; d < mesh.NumLinkDirs; d++ {
+			links += m.Link(mesh.NodeID(node), mesh.Dir(d))
+		}
+	}
+	if links != n.Run().LinkTraversals {
+		t.Errorf("link matrix sum %d != LinkTraversals %d", links, n.Run().LinkTraversals)
+	}
+}
+
+// TestTracerCreditStall: one downstream VC under a two-source hot spot
+// must starve credits at some point.
+func TestTracerCreditStall(t *testing.T) {
+	n, m := traceNet(t, func(c *Config) { c.VCs = 1; c.NICEntries = 30 })
+	var id uint64
+	for i := 0; i < 10; i++ {
+		id++
+		n.Inject(sim.Message{ID: id, Src: 0, Dsts: []mesh.NodeID{3}, Op: packet.OpSynthetic})
+		id++
+		n.Inject(sim.Message{ID: id, Src: 4, Dsts: []mesh.NodeID{3}, Op: packet.OpSynthetic})
+	}
+	deliveries := drain(t, n, 2000)
+	if len(deliveries) != int(id) {
+		t.Fatalf("delivered %d, want %d", len(deliveries), id)
+	}
+	if m.Total(obs.KindCreditStall) == 0 {
+		t.Error("no credit stalls traced under a single-VC hot spot")
+	}
+}
+
+// TestTracerOffByDefault: without SetTracer no events flow and behaviour
+// is identical (counters match a traced twin).
+func TestTracerOffByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	plain, traced := New(cfg), New(cfg)
+	m := obs.NewMetrics(4, 4)
+	traced.SetTracer(m.Observe)
+	for _, n := range []*Network{plain, traced} {
+		n.Inject(sim.Message{ID: 1, Src: 5, Dsts: []mesh.NodeID{10}, Op: packet.OpSynthetic})
+		drain(t, n, 200)
+	}
+	if plain.Run().LinkTraversals != traced.Run().LinkTraversals ||
+		plain.Run().ElectricalEnergyPJ != traced.Run().ElectricalEnergyPJ {
+		t.Error("tracing changed simulation results")
+	}
+	if m.Total(obs.KindEject) != 1 {
+		t.Errorf("traced twin saw %d ejects", m.Total(obs.KindEject))
+	}
+	// Disabling again stops the stream.
+	traced.SetTracer(nil)
+	traced.Inject(sim.Message{ID: 2, Src: 5, Dsts: []mesh.NodeID{10}, Op: packet.OpSynthetic})
+	drain(t, traced, 200)
+	if m.Total(obs.KindEject) != 1 {
+		t.Error("events recorded after tracer removed")
+	}
+}

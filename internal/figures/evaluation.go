@@ -78,12 +78,7 @@ func Fig9(opts Fig9Opts) []Fig9Result {
 				Warmup: opts.Warmup, Measure: opts.Measure,
 				Seed: opts.Seed,
 			})
-			pts = append(pts, sim.SweepPoint{
-				Rate:       rate,
-				AvgLatency: r.Run.Latency.Mean(),
-				Throughput: r.Run.ThroughputPerNode(net.Nodes()),
-				Saturated:  r.Saturated,
-			})
+			pts = append(pts, sim.PointFrom(rate, r, net.Nodes()))
 			if r.Saturated {
 				break // the curve has left the plot
 			}
@@ -134,6 +129,27 @@ func Fig9Table(r Fig9Result) *stats.Table {
 			}
 		}
 		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig9TailTable renders one pattern's curves in long form with the tail of
+// the latency distribution: one row per (rate, config) carrying
+// mean/p50/p95/p99, the data behind the -csv sweep export.
+func Fig9TailTable(r Fig9Result) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Fig. 9 (%s): latency distribution (cycles)", r.Pattern),
+		Columns: []string{"rate", "config", "mean", "p50", "p95", "p99", "saturated"},
+	}
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			sat := ""
+			if p.Saturated {
+				sat = "sat"
+			}
+			t.AddRow(stats.F(p.Rate), c.Config, stats.F(p.AvgLatency),
+				stats.F(p.P50), stats.F(p.P95), stats.F(p.P99), sat)
+		}
 	}
 	return t
 }

@@ -1,0 +1,89 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"phastlane/internal/exp"
+	"phastlane/internal/obs"
+	"phastlane/internal/stats"
+)
+
+// BundleOpts selects the file outputs of InspectBundle; the cmd tools map
+// their -trace-out/-metrics-out/-heatmap flags straight onto it.
+type BundleOpts struct {
+	// TracePath, when non-empty, receives a Perfetto trace-event JSON
+	// file covering every inspected point (one trace process per point,
+	// one thread per node). The file is re-read and validated after the
+	// run so a truncated or malformed trace fails loudly.
+	TracePath string
+	// MetricsPath receives the merged per-node event matrices as CSV.
+	MetricsPath string
+	// SeriesPath receives the merged cycle-windowed time series as CSV.
+	SeriesPath string
+	// Heatmap prints link-utilization and drop heatmaps to the writer.
+	Heatmap bool
+}
+
+// InspectBundle runs an inspection grid and materialises the requested
+// outputs: the summary table (always) and optional heatmaps on w, the CSV
+// files, and a self-validated Perfetto trace.
+func InspectBundle(opts []InspectOpts, engine exp.Options, b BundleOpts, w io.Writer) ([]InspectResult, error) {
+	var tf *obs.TraceFile
+	if b.TracePath != "" {
+		f, err := os.Create(b.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tf = obs.NewTraceFile(f)
+		for pid := range opts {
+			tf.Process(pid, opts[pid].Name, opts[pid].Width, opts[pid].Height)
+			opts[pid].Trace = tf.Tracer(pid)
+		}
+	}
+	results := InspectGrid(opts, engine)
+	fmt.Fprintln(w, InspectSummaryTable(results))
+	if b.Heatmap {
+		fmt.Fprint(w, InspectHeatmaps(results))
+	}
+	writeCSV := func(path string, t *stats.Table) error {
+		if path == "" {
+			return nil
+		}
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+		return nil
+	}
+	if err := writeCSV(b.MetricsPath, InspectMetricsTable(results)); err != nil {
+		return nil, err
+	}
+	if err := writeCSV(b.SeriesPath, InspectSeriesTable(results)); err != nil {
+		return nil, err
+	}
+	if tf != nil {
+		if err := tf.Close(); err != nil {
+			return nil, err
+		}
+		f, err := os.Open(b.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		n, err := obs.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace %s failed validation: %w", b.TracePath, err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d events, Perfetto trace-event format)\n", b.TracePath, n)
+	}
+	return results, nil
+}
+
+// Enabled reports whether any output was requested; the cmd tools use it
+// to decide whether to run the inspection stage at all.
+func (b BundleOpts) Enabled() bool {
+	return b.TracePath != "" || b.MetricsPath != "" || b.SeriesPath != "" || b.Heatmap
+}

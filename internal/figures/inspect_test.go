@@ -1,0 +1,201 @@
+package figures
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/exp"
+	"phastlane/internal/obs"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// inspectTestOpts builds a small grid of inspection points on a 4x4 mesh.
+// Patterns are stateful, so every call returns fresh instances - required
+// when the same logical grid is run twice (e.g. at different worker
+// counts).
+func inspectTestOpts(t *testing.T) []InspectOpts {
+	t.Helper()
+	builds := []struct {
+		name  string
+		build func(seed int64) sim.Network
+	}{
+		{"optical", func(seed int64) sim.Network {
+			cfg := core.DefaultConfig()
+			cfg.Width, cfg.Height = 4, 4
+			cfg.Seed = seed
+			return core.New(cfg)
+		}},
+		{"electrical", func(seed int64) sim.Network {
+			cfg := electrical.DefaultConfig()
+			cfg.Width, cfg.Height = 4, 4
+			cfg.Seed = seed
+			return electrical.New(cfg)
+		}},
+	}
+	var opts []InspectOpts
+	for _, b := range builds {
+		p, err := PatternByName("Uniform", 16, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, InspectOpts{
+			Name: b.name, Build: b.build, Width: 4, Height: 4,
+			Pattern: p, Rate: 0.10, Warmup: 200, Measure: 800,
+			Window: 200, Seed: 5,
+		})
+	}
+	return opts
+}
+
+// TestInspectGridDeterministic pins the acceptance criterion that the
+// metrics bundle is bit-identical whether the grid runs serially or on
+// the full worker pool.
+func TestInspectGridDeterministic(t *testing.T) {
+	serial := InspectGrid(inspectTestOpts(t), exp.Options{Workers: 1})
+	pool := InspectGrid(inspectTestOpts(t), exp.Options{Workers: 8})
+	if len(serial) != len(pool) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(pool))
+	}
+	for i := range serial {
+		s, p := &serial[i], &pool[i]
+		if s.Name != p.Name {
+			t.Fatalf("point %d order differs: %s vs %s", i, s.Name, p.Name)
+		}
+		if !s.Metrics.Equal(p.Metrics) {
+			t.Errorf("%s: metrics differ between 1 and 8 workers", s.Name)
+		}
+		if !s.Sampler.Equal(p.Sampler) {
+			t.Errorf("%s: sampler bins differ between 1 and 8 workers", s.Name)
+		}
+		if s.Run.Run.Latency.Mean() != p.Run.Run.Latency.Mean() ||
+			s.Run.Run.Delivered != p.Run.Run.Delivered {
+			t.Errorf("%s: run results differ between 1 and 8 workers", s.Name)
+		}
+	}
+}
+
+// TestInspectTraced: both simulators are instrumented; the zero-valued
+// metrics of an uninstrumented network render as "unavailable".
+func TestInspectTraced(t *testing.T) {
+	results := InspectGrid(inspectTestOpts(t), exp.Options{Workers: 2})
+	for i := range results {
+		r := &results[i]
+		if !r.Traced {
+			t.Errorf("%s: not traced", r.Name)
+		}
+		if r.Metrics.Total(obs.KindEject) < r.Run.Run.Delivered {
+			t.Errorf("%s: ejects %d < delivered %d", r.Name,
+				r.Metrics.Total(obs.KindEject), r.Run.Run.Delivered)
+		}
+	}
+	untraced := Inspect(InspectOpts{
+		Name: "corona", Build: CoronaStyle.Build, Width: 8, Height: 8,
+		Pattern: mustPattern(t, "Uniform", 64), Rate: 0.05,
+		Warmup: 100, Measure: 400, Seed: 5,
+	})
+	if untraced.Traced {
+		t.Error("corona unexpectedly reports instrumentation")
+	}
+	if got := InspectHeatmaps([]InspectResult{untraced}); !strings.Contains(got, "unavailable") {
+		t.Errorf("heatmaps for untraced network should say unavailable:\n%s", got)
+	}
+	// The harness-side time series still fills for untraced networks.
+	if len(untraced.Sampler.Bins()) == 0 {
+		t.Error("untraced network produced no sampler bins")
+	}
+}
+
+func mustPattern(t *testing.T, name string, nodes int) traffic.Pattern {
+	t.Helper()
+	p, err := PatternByName(name, nodes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestInspectBundle drives the full cmd-facing path: summary + heatmaps on
+// the writer, CSVs on disk, and a Perfetto trace that self-validates.
+func TestInspectBundle(t *testing.T) {
+	dir := t.TempDir()
+	b := BundleOpts{
+		TracePath:   filepath.Join(dir, "trace.json"),
+		MetricsPath: filepath.Join(dir, "metrics.csv"),
+		SeriesPath:  filepath.Join(dir, "series.csv"),
+		Heatmap:     true,
+	}
+	if !b.Enabled() {
+		t.Fatal("bundle with outputs reports disabled")
+	}
+	if (BundleOpts{}).Enabled() {
+		t.Fatal("empty bundle reports enabled")
+	}
+	var out strings.Builder
+	results, err := InspectBundle(inspectTestOpts(t), exp.Options{Workers: 2}, b, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, want := range []string{"Inspection summary", "link utilization", "drops/node", "Perfetto"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bundle output missing %q:\n%s", want, out.String())
+		}
+	}
+	f, err := os.Open(b.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateTrace(f)
+	if err != nil {
+		t.Fatalf("trace failed validation: %v", err)
+	}
+	if n == 0 {
+		t.Error("trace is empty")
+	}
+	metrics, err := os.ReadFile(b.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(metrics), "\n", 2)[0]
+	for _, col := range []string{"network", "launch", "eject", "drop", "linkN"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("metrics CSV header missing %q: %s", col, head)
+		}
+	}
+	// 2 networks x 16 nodes + header.
+	if lines := strings.Count(strings.TrimSpace(string(metrics)), "\n"); lines != 32 {
+		t.Errorf("metrics CSV has %d data lines, want 32", lines)
+	}
+	series, err := os.ReadFile(b.SeriesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(series), "throughput") {
+		t.Errorf("series CSV missing throughput column: %s", series)
+	}
+}
+
+// TestFig9TailTable checks the long-form percentile rendering.
+func TestFig9TailTable(t *testing.T) {
+	r := Fig9Result{Pattern: "Transpose", Curves: []Fig9Curve{{
+		Config: "Optical4",
+		Points: []sim.SweepPoint{
+			{Rate: 0.05, AvgLatency: 2, P50: 2, P95: 4, P99: 5},
+			{Rate: 0.30, AvgLatency: 150, P50: 90, P95: 600, P99: 900, Saturated: true},
+		},
+	}}}
+	out := Fig9TailTable(r).String()
+	for _, want := range []string{"p50", "p95", "p99", "Optical4", "sat", "900"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tail table missing %q:\n%s", want, out)
+		}
+	}
+}

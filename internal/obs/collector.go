@@ -1,0 +1,54 @@
+package obs
+
+// Collector bundles the optional observers of one run. Any field may be
+// nil; a fully nil Collector (or a nil *Collector) observes nothing and
+// costs nothing. The sim harness installs Tracer() on the network when it
+// is non-nil and drives the Sampler once per cycle.
+type Collector struct {
+	// Metrics accumulates per-node counter matrices from the event
+	// stream.
+	Metrics *Metrics
+	// Sampler records cycle-windowed time series (fed by the harness,
+	// not the event stream).
+	Sampler *Sampler
+	// Trace receives every event, typically TraceFile.Tracer(pid).
+	Trace func(Event)
+}
+
+// Tracer returns the event callback to install on a network: the fan-out
+// over Metrics and Trace, or nil when neither is set so tracing stays
+// completely off.
+func (c *Collector) Tracer() func(Event) {
+	if c == nil {
+		return nil
+	}
+	switch {
+	case c.Metrics != nil && c.Trace != nil:
+		return func(e Event) {
+			c.Metrics.Observe(e)
+			c.Trace(e)
+		}
+	case c.Metrics != nil:
+		return c.Metrics.Observe
+	case c.Trace != nil:
+		return c.Trace
+	default:
+		return nil
+	}
+}
+
+// Attach installs the collector's tracer on net if the network supports
+// tracing, reporting whether events will flow. A nil collector or a
+// network without instrumentation leaves net untouched.
+func (c *Collector) Attach(net any) bool {
+	tr := c.Tracer()
+	if tr == nil {
+		return false
+	}
+	t, ok := net.(Traceable)
+	if !ok {
+		return false
+	}
+	t.SetTracer(tr)
+	return true
+}

@@ -1,0 +1,116 @@
+// Package obs is the unified observability layer shared by the Phastlane
+// optical simulator and the electrical baseline. Both networks report
+// router-level actions through one Event vocabulary; obs turns that stream
+// into per-node/per-direction counter matrices (Metrics), cycle-windowed
+// time series (Sampler), and Chrome/Perfetto trace-event exports
+// (TraceFile). Everything is strictly zero-cost when off: networks guard
+// every emission behind a nil tracer check, and the sim harness only feeds
+// a Sampler when a Collector is installed.
+package obs
+
+import (
+	"fmt"
+
+	"phastlane/internal/mesh"
+)
+
+// Kind classifies a router-level event. The first block is the Phastlane
+// optical lifecycle (launch through retry); the second block is the
+// electrical baseline's virtual-channel router vocabulary. Both networks
+// share Buffer, Eject and Launch so cross-network matrices line up.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindLaunch: a packet leaves a buffer (or the NIC) toward the
+	// network. Optical: onto its first link of the cycle (Dir is the
+	// outgoing link). Electrical: the NIC head enters a local-port
+	// virtual channel (Dir is Local).
+	KindLaunch Kind = iota
+	// KindPass: the packet transits an optical router toward another
+	// output without stopping.
+	KindPass
+	// KindTap: a multicast tap delivers a copy to the local node while
+	// the optical packet continues.
+	KindTap
+	// KindEject: the packet leaves the network at a destination.
+	KindEject
+	// KindBuffer: the packet is captured into an input-port buffer
+	// (optical: blocked or interim stop; electrical: a link arrival
+	// occupies its reserved virtual channel).
+	KindBuffer
+	// KindDrop: an optical buffer was full; the drop signal returns to
+	// the responsible sender.
+	KindDrop
+	// KindRetry: the dropped packet re-enters its owner's queue after
+	// backoff.
+	KindRetry
+	// KindVCAlloc: the electrical router's VC allocator granted a
+	// downstream virtual channel toward Dir.
+	KindVCAlloc
+	// KindSwitch: an electrical flit traversed the crossbar and the
+	// link toward Dir.
+	KindSwitch
+	// KindCreditStall: an electrical output port had requests but no
+	// free downstream VC this cycle (credit starvation). MsgID is 0;
+	// the event counts the (node, port) stall, not one packet.
+	KindCreditStall
+	// KindTreeFork: a VCTM multicast packet replicated at a branch
+	// router (more than one onward branch).
+	KindTreeFork
+
+	// NumKinds bounds Kind for dense per-kind arrays.
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLaunch:
+		return "launch"
+	case KindPass:
+		return "pass"
+	case KindTap:
+		return "tap"
+	case KindEject:
+		return "eject"
+	case KindBuffer:
+		return "buffer"
+	case KindDrop:
+		return "drop"
+	case KindRetry:
+		return "retry"
+	case KindVCAlloc:
+		return "vcalloc"
+	case KindSwitch:
+		return "switch"
+	case KindCreditStall:
+		return "creditstall"
+	case KindTreeFork:
+		return "treefork"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one traced router action.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	MsgID uint64
+	// Node is where the event happened; Dir its outgoing direction
+	// (meaningful for launch/pass/switch/vcalloc; Local otherwise).
+	Node mesh.NodeID
+	Dir  mesh.Dir
+}
+
+// String renders the event compactly, e.g. "c12 launch msg3 @27->N".
+func (e Event) String() string {
+	return fmt.Sprintf("c%d %s msg%d @%d->%s", e.Cycle, e.Kind, e.MsgID, e.Node, e.Dir)
+}
+
+// Traceable is implemented by networks that can emit Events; both
+// simulators satisfy it. A nil tracer disables tracing entirely.
+type Traceable interface {
+	SetTracer(func(Event))
+}

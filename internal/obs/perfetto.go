@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceFile streams Events as Chrome trace-event JSON, the format
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly.
+// The output is line-oriented - one event object per line inside a JSON
+// array - so tools can both decode the whole file as JSON and grep
+// individual events. Each network writes under its own pid; each router
+// is a thread, so the trace UI shows one swimlane per node. Cycles are
+// reported as microseconds (1 cycle = 1us) for readable zoom levels.
+//
+// TraceFile serialises writes internally, so tracers of concurrently
+// simulated networks may share one file; event order across networks is
+// then scheduling-dependent, which trace viewers do not care about.
+type TraceFile struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events int64
+	opened bool
+	closed bool
+	err    error
+}
+
+// NewTraceFile starts a trace stream on w.
+func NewTraceFile(w io.Writer) *TraceFile { return &TraceFile{w: w} }
+
+// write emits one raw line, handling the array framing and comma rules.
+// Callers hold mu.
+func (f *TraceFile) write(line string) {
+	if f.err != nil || f.closed {
+		return
+	}
+	prefix := ",\n"
+	if !f.opened {
+		prefix = "[\n"
+		f.opened = true
+	}
+	if _, err := io.WriteString(f.w, prefix+line); err != nil {
+		f.err = err
+	}
+}
+
+// Process registers a named process (one simulated network) and labels a
+// thread per node, so the trace UI shows "node 12 (4,1)" swimlanes.
+func (f *TraceFile) Process(pid int, name string, width, height int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.write(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, name))
+	for n := 0; n < width*height; n++ {
+		f.write(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"node %d (%d,%d)"}}`,
+			pid, n, n, n%width, n/width))
+	}
+}
+
+// Tracer returns a network tracer that records every event under pid.
+func (f *TraceFile) Tracer(pid int) func(Event) {
+	return func(e Event) {
+		f.mu.Lock()
+		f.write(fmt.Sprintf(`{"name":%q,"cat":"net","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"msg":%d,"dir":%q}}`,
+			e.Kind.String(), e.Cycle, pid, e.Node, e.MsgID, e.Dir.String()))
+		f.events++
+		f.mu.Unlock()
+	}
+}
+
+// Events returns the number of events recorded so far.
+func (f *TraceFile) Events() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.events
+}
+
+// Close terminates the JSON array; the file is complete and valid after
+// Close returns. It reports any write error seen along the way.
+func (f *TraceFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.closed {
+		if !f.opened {
+			// An empty trace is still a valid (empty) array.
+			if _, err := io.WriteString(f.w, "["); err != nil && f.err == nil {
+				f.err = err
+			}
+			f.opened = true
+		}
+		if _, err := io.WriteString(f.w, "\n]\n"); err != nil && f.err == nil {
+			f.err = err
+		}
+		f.closed = true
+	}
+	return f.err
+}
+
+// ValidateTrace decodes a trace stream written by TraceFile and returns
+// the number of event objects (including metadata events). It fails if the
+// file is not a JSON array of objects each carrying a "ph" phase - the
+// check the CI smoke step runs on cmd/inspect output.
+func ValidateTrace(r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, fmt.Errorf("obs: trace is not a JSON event array: %w", err)
+	}
+	for i, e := range events {
+		if _, ok := e["ph"].(string); !ok {
+			return 0, fmt.Errorf("obs: trace event %d has no phase field", i)
+		}
+	}
+	return len(events), nil
+}

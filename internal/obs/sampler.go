@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+
+	"phastlane/internal/stats"
+)
+
+// Bin is one cycle window of a run's time series.
+type Bin struct {
+	// Start is the first cycle of the window.
+	Start int64
+	// Delivered counts per-destination arrivals in the window (all
+	// phases, including warmup).
+	Delivered int64
+	// Completed counts measured messages fully delivered in the
+	// window; LatencySum is their summed latency (cycles).
+	Completed  int64
+	LatencySum float64
+	// Injected counts messages accepted by NICs in the window.
+	Injected int64
+	// Drops counts packet drops in the window.
+	Drops int64
+}
+
+// MeanLatency returns the window's mean completed-message latency, or 0.
+func (b Bin) MeanLatency() float64 {
+	if b.Completed == 0 {
+		return 0
+	}
+	return b.LatencySum / float64(b.Completed)
+}
+
+// Sampler accumulates cycle-windowed time series during a harness run.
+// The sim harness calls Tick once per cycle; the sampler rotates bins
+// every Window cycles. Not goroutine-safe: one Sampler per run.
+type Sampler struct {
+	// Window is the bin width in cycles.
+	Window int64
+	// Nodes normalises throughput to packets/node/cycle.
+	Nodes int
+
+	bins      []Bin
+	cur       Bin
+	started   bool
+	lastDrops int64
+}
+
+// DefaultWindow is the bin width used when none is given.
+const DefaultWindow = 1000
+
+// NewSampler builds a sampler for a nodes-node network; window <= 0 uses
+// DefaultWindow.
+func NewSampler(nodes int, window int64) *Sampler {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Sampler{Window: window, Nodes: nodes}
+}
+
+// Tick records one simulated cycle: raw per-destination deliveries,
+// completed measured messages with their summed latency, accepted
+// injections, and the network's cumulative drop counter (the sampler
+// differences it into per-window drops).
+func (s *Sampler) Tick(cycle int64, delivered, completed int, latencySum float64, injected int, totalDrops int64) {
+	if !s.started {
+		s.started = true
+		s.cur.Start = cycle - cycle%s.Window
+	}
+	for cycle >= s.cur.Start+s.Window {
+		s.bins = append(s.bins, s.cur)
+		s.cur = Bin{Start: s.cur.Start + s.Window}
+	}
+	s.cur.Delivered += int64(delivered)
+	s.cur.Completed += int64(completed)
+	s.cur.LatencySum += latencySum
+	s.cur.Injected += int64(injected)
+	s.cur.Drops += totalDrops - s.lastDrops
+	s.lastDrops = totalDrops
+}
+
+// Bins returns every full window plus the trailing partial one (if it has
+// seen any cycle).
+func (s *Sampler) Bins() []Bin {
+	out := append([]Bin(nil), s.bins...)
+	if s.started {
+		out = append(out, s.cur)
+	}
+	return out
+}
+
+// Equal reports whether two samplers recorded identical series.
+func (s *Sampler) Equal(o *Sampler) bool {
+	a, b := s.Bins(), o.Bins()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Series converts the bins into the labelled curves the figures stack
+// plots: throughput (packets/node/cycle), mean latency (cycles), and
+// drops per 1k cycles, each against the window's starting cycle.
+func (s *Sampler) Series(prefix string) []stats.Series {
+	th := stats.Series{Label: prefix + " throughput", YLabel: "pkts/node/cycle"}
+	lat := stats.Series{Label: prefix + " mean latency", YLabel: "cycles"}
+	dr := stats.Series{Label: prefix + " drops", YLabel: "drops/1k cycles"}
+	for _, b := range s.Bins() {
+		x := float64(b.Start)
+		denom := float64(s.Window) * float64(s.Nodes)
+		if denom > 0 {
+			th.Append(x, float64(b.Delivered)/denom)
+		}
+		lat.Append(x, b.MeanLatency())
+		dr.Append(x, float64(b.Drops)*1000/float64(s.Window))
+	}
+	return []stats.Series{th, lat, dr}
+}
+
+// Table renders the bins as rows, labelled with the given network name;
+// Table(...).CSV() is the time-series export format.
+func (s *Sampler) Table(network string) *stats.Table {
+	t := &stats.Table{Columns: []string{
+		"network", "cycle", "delivered", "throughput", "completed",
+		"mean-latency", "injected", "drops",
+	}}
+	for _, b := range s.Bins() {
+		th := 0.0
+		if s.Window > 0 && s.Nodes > 0 {
+			th = float64(b.Delivered) / float64(s.Window) / float64(s.Nodes)
+		}
+		t.AddRow(network,
+			fmt.Sprintf("%d", b.Start),
+			fmt.Sprintf("%d", b.Delivered),
+			fmt.Sprintf("%.5f", th),
+			fmt.Sprintf("%d", b.Completed),
+			stats.F(b.MeanLatency()),
+			fmt.Sprintf("%d", b.Injected),
+			fmt.Sprintf("%d", b.Drops),
+		)
+	}
+	return t
+}

@@ -9,6 +9,7 @@ import (
 
 	"phastlane/internal/exp"
 	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
 	"phastlane/internal/packet"
 	"phastlane/internal/stats"
 	"phastlane/internal/trace"
@@ -88,6 +89,10 @@ type RateConfig struct {
 	// that cannot drain by then is saturated.
 	DrainLimit int
 	Seed       int64
+	// Obs, when non-nil, attaches the observability bundle: its tracer
+	// is installed on the network (if the network supports tracing) and
+	// its Sampler is fed once per cycle. Nil costs nothing.
+	Obs *obs.Collector
 }
 
 // RunRate drives net with Bernoulli pattern traffic and measures average
@@ -109,8 +114,15 @@ func RunRate(net Network, cfg RateConfig) Result {
 	var nextID uint64
 	var cycle int64
 	var offered, accepted int64
+	var sampler *obs.Sampler
+	if cfg.Obs != nil {
+		cfg.Obs.Attach(net)
+		sampler = cfg.Obs.Sampler
+	}
+	var cycleInjected int
 
 	injectTick := func(record bool) {
+		cycleInjected = 0
 		for _, in := range inj.Tick() {
 			offered++
 			if net.NICFree(in.Src) <= 0 {
@@ -119,6 +131,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 				continue
 			}
 			accepted++
+			cycleInjected++
 			nextID++
 			net.Inject(Message{ID: nextID, Src: in.Src, Dsts: []mesh.NodeID{in.Dst}, Op: packet.OpSynthetic})
 			if record {
@@ -127,17 +140,27 @@ func RunRate(net Network, cfg RateConfig) Result {
 		}
 	}
 	stepTick := func() {
-		for _, d := range net.Step() {
+		deliveries := net.Step()
+		var completed int
+		var latencySum float64
+		for _, d := range deliveries {
 			st, ok := outstanding[d.MsgID]
 			if !ok {
 				continue
 			}
 			st.remaining--
 			if st.remaining == 0 {
-				res.Run.Latency.Add(float64(cycle - st.inject + 1))
+				lat := float64(cycle - st.inject + 1)
+				res.Run.Latency.Add(lat)
+				completed++
+				latencySum += lat
 				delete(outstanding, d.MsgID)
 			}
 		}
+		if sampler != nil {
+			sampler.Tick(cycle, len(deliveries), completed, latencySum, cycleInjected, net.Run().Drops)
+		}
+		cycleInjected = 0
 		cycle++
 	}
 
@@ -179,6 +202,9 @@ func copyCounters(dst, src *stats.Run) {
 type ReplayConfig struct {
 	// Limit aborts the replay after this many cycles (0 = 20M).
 	Limit int64
+	// Obs, when non-nil, attaches the observability bundle as in
+	// RateConfig.Obs.
+	Obs *obs.Collector
 }
 
 // RunTrace replays tr on net: each message injects once its EarliestCycle
@@ -220,6 +246,11 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 	res := Result{LatencyByOp: make(map[packet.Op]*stats.Latency)}
 	var cycle int64
 	remainingDeliveries := 0
+	var sampler *obs.Sampler
+	if cfg.Obs != nil {
+		cfg.Obs.Attach(net)
+		sampler = cfg.Obs.Sampler
+	}
 
 	for len(pending) > 0 || remainingDeliveries > 0 {
 		if cycle >= limit {
@@ -229,6 +260,7 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 		// Inject every ready message whose NIC has room, in ID
 		// order per source.
 		rest := pending[:0]
+		cycleInjected := 0
 		for _, id := range pending {
 			m := tr.Messages[id-1]
 			r := readyAt[id]
@@ -248,10 +280,14 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			outstanding[id] = &messageState{inject: r, remaining: len(dsts)}
 			remainingDeliveries += len(dsts)
 			res.Run.Injected++
+			cycleInjected++
 		}
 		pending = rest
 
-		for _, d := range net.Step() {
+		deliveries := net.Step()
+		var completed int
+		var latencySum float64
+		for _, d := range deliveries {
 			st, ok := outstanding[d.MsgID]
 			if !ok {
 				continue
@@ -261,7 +297,10 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			if st.remaining > 0 {
 				continue
 			}
-			res.Run.Latency.Add(float64(cycle - st.inject + 1))
+			lat := float64(cycle - st.inject + 1)
+			res.Run.Latency.Add(lat)
+			completed++
+			latencySum += lat
 			res.Run.Delivered++
 			res.Makespan = cycle + 1
 			delete(outstanding, d.MsgID)
@@ -271,7 +310,7 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 				ol = &stats.Latency{}
 				res.LatencyByOp[m.Op] = ol
 			}
-			ol.Add(float64(cycle - st.inject + 1))
+			ol.Add(lat)
 			for _, dep := range dependents[d.MsgID] {
 				think := tr.Messages[dep-1].Think
 				at := cycle + 1 + think
@@ -280,7 +319,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 				}
 				readyAt[dep] = at
 			}
-			_ = m
+		}
+		if sampler != nil {
+			sampler.Tick(cycle, len(deliveries), completed, latencySum, cycleInjected, net.Run().Drops)
 		}
 		cycle++
 	}
@@ -318,6 +359,23 @@ type SweepPoint struct {
 	AvgLatency float64
 	Throughput float64
 	Saturated  bool
+	// P50, P95, P99 are latency percentiles of the point's measured
+	// packets, exposing tail latency next to the mean.
+	P50, P95, P99 float64
+}
+
+// PointFrom summarises one RunRate result as a sweep point, filling the
+// latency percentiles alongside the mean.
+func PointFrom(rate float64, r Result, nodes int) SweepPoint {
+	return SweepPoint{
+		Rate:       rate,
+		AvgLatency: r.Run.Latency.Mean(),
+		Throughput: r.Run.ThroughputPerNode(nodes),
+		Saturated:  r.Saturated,
+		P50:        r.Run.Latency.Percentile(50),
+		P95:        r.Run.Latency.Percentile(95),
+		P99:        r.Run.Latency.Percentile(99),
+	}
 }
 
 // sweepCut is the early-exit predicate shared by the serial and parallel
@@ -361,12 +419,7 @@ func SweepParallel(newNet func() Network, pattern traffic.Pattern, rates []float
 	pts := exp.RunUntil(rates, func(_ int, rate float64) SweepPoint {
 		net := newNet()
 		r := RunRate(net, RateConfig{Pattern: pattern, Rate: rate, Seed: seed})
-		return SweepPoint{
-			Rate:       rate,
-			AvgLatency: r.Run.Latency.Mean(),
-			Throughput: r.Run.ThroughputPerNode(net.Nodes()),
-			Saturated:  r.Saturated,
-		}
+		return PointFrom(rate, r, net.Nodes())
 	}, sweepCut, opt)
 	if len(pts) == 0 {
 		return nil

@@ -142,8 +142,13 @@ func (t *Table) String() string {
 		widths[i] = len(c)
 	}
 	for _, row := range t.Rows {
+		// Rows may carry more cells than there are column headers; grow
+		// the width set so they render instead of indexing past it.
+		for len(widths) < len(row) {
+			widths = append(widths, 0)
+		}
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -127,6 +127,20 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableOverlongRow: rows wider than the header used to index past the
+// per-column width slice and panic; they must render instead.
+func TestTableOverlongRow(t *testing.T) {
+	tb := Table{Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1", "surplus", "cells")
+	tb.AddRow("b")
+	out := tb.String()
+	for _, want := range []string{"alpha", "surplus", "cells", "b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing cell %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestF(t *testing.T) {
 	cases := map[float64]string{
 		3:       "3",
