@@ -282,6 +282,7 @@ func BenchmarkOpticalStepLoaded(b *testing.B) {
 	net := core.New(core.DefaultConfig())
 	inj := traffic.NewInjector(traffic.UniformRandom(64, 1), 64, 0.10, 2)
 	var id uint64
+	var buf []sim.Delivery
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, in := range inj.Tick() {
@@ -290,7 +291,7 @@ func BenchmarkOpticalStepLoaded(b *testing.B) {
 				net.Inject(sim.Message{ID: id, Src: in.Src, Dsts: []mesh.NodeID{in.Dst}, Op: packet.OpSynthetic})
 			}
 		}
-		net.Step()
+		buf = net.Step(buf[:0])
 	}
 }
 
@@ -298,6 +299,7 @@ func BenchmarkElectricalStepLoaded(b *testing.B) {
 	net := electrical.New(electrical.DefaultConfig())
 	inj := traffic.NewInjector(traffic.UniformRandom(64, 1), 64, 0.10, 2)
 	var id uint64
+	var buf []sim.Delivery
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, in := range inj.Tick() {
@@ -306,8 +308,68 @@ func BenchmarkElectricalStepLoaded(b *testing.B) {
 				net.Inject(sim.Message{ID: id, Src: in.Src, Dsts: []mesh.NodeID{in.Dst}, Op: packet.OpSynthetic})
 			}
 		}
-		net.Step()
+		buf = net.Step(buf[:0])
 	}
+}
+
+// stepSteadyState measures one warmed-up inject+Step cycle under
+// sustained uniform-random load: the pools and scratch buffers are grown
+// before the timer starts, so the measured loop must report 0 allocs/op.
+// cmd/bench runs this pair and records the results in BENCH_kernel.json.
+func stepSteadyState(b *testing.B, net sim.Network, rate float64) {
+	inj := traffic.NewInjector(traffic.UniformRandom(net.Nodes(), 1), net.Nodes(), rate, 2)
+	var id uint64
+	var buf []sim.Delivery
+	dsts := make([]mesh.NodeID, 1)
+	cycle := func() {
+		for _, in := range inj.Tick() {
+			if net.NICFree(in.Src) > 0 {
+				id++
+				dsts[0] = in.Dst
+				net.Inject(sim.Message{ID: id, Src: in.Src, Dsts: dsts, Op: packet.OpSynthetic})
+			}
+		}
+		buf = net.Step(buf[:0])
+	}
+	for i := 0; i < 500; i++ {
+		cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+func BenchmarkStepSteadyState(b *testing.B) {
+	b.Run("Optical", func(b *testing.B) {
+		stepSteadyState(b, core.New(core.DefaultConfig()), 0.10)
+	})
+	b.Run("Electrical", func(b *testing.B) {
+		stepSteadyState(b, electrical.New(electrical.DefaultConfig()), 0.10)
+	})
+}
+
+// BenchmarkRunRate measures the full harness (injection bookkeeping,
+// latency accounting, drain) at a comfortably low load and near the
+// optical network's saturation knee. Run with -benchmem: the per-op
+// allocations are dominated by one-time setup, not the cycle loop.
+func BenchmarkRunRate(b *testing.B) {
+	bench := func(build func() sim.Network, rate float64) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim.RunRate(build(), sim.RateConfig{
+					Pattern: traffic.UniformRandom(64, 1),
+					Rate:    rate, Warmup: 100, Measure: 400, Seed: 2,
+				})
+			}
+		}
+	}
+	b.Run("Optical/low", bench(func() sim.Network { return core.New(core.DefaultConfig()) }, 0.05))
+	b.Run("Optical/saturation", bench(func() sim.Network { return core.New(core.DefaultConfig()) }, 0.40))
+	b.Run("Electrical/low", bench(func() sim.Network { return electrical.New(electrical.DefaultConfig()) }, 0.05))
+	b.Run("Electrical/saturation", bench(func() sim.Network { return electrical.New(electrical.DefaultConfig()) }, 0.25))
 }
 
 func BenchmarkBuildBroadcast(b *testing.B) {

@@ -38,9 +38,12 @@ func main() {
 	}
 	net.Inject(sim.Message{ID: 3, Src: 27, Dsts: everyone, Op: packet.OpReadReq})
 
+	// Step appends into a caller-owned buffer; reusing it across cycles
+	// keeps the steady-state loop allocation-free.
 	served := map[uint64]int{}
+	var deliveries []sim.Delivery
 	for cycle := 0; !net.Quiescent() && cycle < 100; cycle++ {
-		deliveries := net.Step()
+		deliveries = net.Step(deliveries[:0])
 		for _, d := range deliveries {
 			served[d.MsgID]++
 		}

@@ -145,8 +145,8 @@ func (n *Network) Quiescent() bool { return n.live == 0 }
 // Inject implements sim.Network. Broadcasts become one flow that opens a
 // circuit to each destination in turn - the architecture has no multicast.
 func (n *Network) Inject(m sim.Message) {
-	if n.NICFree(m.Src) <= 0 {
-		panic(fmt.Sprintf("circuit: inject into full NIC at node %d", m.Src))
+	if free := n.NICFree(m.Src); free <= 0 {
+		panic(fmt.Sprintf("circuit: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
 	}
 	n.run.Injected++
 	f := &flow{msgID: m.ID, src: m.Src}
@@ -167,9 +167,10 @@ func linkIndex(node mesh.NodeID, d mesh.Dir) int {
 	return int(node)*mesh.NumLinkDirs + int(d)
 }
 
-// Step implements sim.Network.
-func (n *Network) Step() []sim.Delivery {
-	var out []sim.Delivery
+// Step implements sim.Network. Deliveries are appended to buf (see
+// sim.Network for the buffer-ownership contract).
+func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	out := buf
 
 	// 1. Start a setup for each idle node with a queued flow (one
 	// outstanding circuit per node, as in the original design).
@@ -188,7 +189,8 @@ func (n *Network) Step() []sim.Delivery {
 			continue
 		}
 		f := n.queues[node][0]
-		n.queues[node] = n.queues[node][1:]
+		copy(n.queues[node], n.queues[node][1:])
+		n.queues[node] = n.queues[node][:len(n.queues[node])-1]
 		n.beginSetup(f)
 		n.active = append(n.active, f)
 	}

@@ -13,7 +13,7 @@ func stepUntilQuiescent(t *testing.T, n *Network, limit int) []sim.Delivery {
 	t.Helper()
 	var all []sim.Delivery
 	for i := 0; i < limit; i++ {
-		all = append(all, n.Step()...)
+		all = append(all, n.Step(nil)...)
 		if n.Quiescent() {
 			return all
 		}
@@ -58,7 +58,7 @@ func TestSetupLatencyDominates(t *testing.T) {
 	n := New(DefaultConfig())
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{63}, Op: packet.OpSynthetic})
 	for i := 0; i < 50; i++ {
-		if ds := n.Step(); len(ds) > 0 {
+		if ds := n.Step(nil); len(ds) > 0 {
 			if i < 14 {
 				t.Fatalf("corner-to-corner delivered at cycle %d, faster than the setup walk", i)
 			}
@@ -87,7 +87,7 @@ func TestCircuitBlocking(t *testing.T) {
 	n.Inject(sim.Message{ID: 2, Src: 1, Dsts: []mesh.NodeID{7}, Op: packet.OpSynthetic})
 	arrival := map[uint64]int{}
 	for i := 0; i < 100 && len(arrival) < 2; i++ {
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			arrival[d.MsgID] = i
 		}
 	}
@@ -139,7 +139,7 @@ func TestExactOnceUnderLoad(t *testing.T) {
 				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 			}
 		}
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			if injected[d.MsgID] != d.Dst {
 				t.Fatalf("msg %d delivered to %d, want %d", d.MsgID, d.Dst, injected[d.MsgID])
 			}
@@ -147,7 +147,7 @@ func TestExactOnceUnderLoad(t *testing.T) {
 		}
 	}
 	for i := 0; i < 30000 && !n.Quiescent(); i++ {
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			delivered[d.MsgID]++
 		}
 	}

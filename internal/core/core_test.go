@@ -25,7 +25,7 @@ func stepUntilQuiescent(t *testing.T, n *Network, limit int) []sim.Delivery {
 	t.Helper()
 	var all []sim.Delivery
 	for i := 0; i < limit; i++ {
-		all = append(all, n.Step()...)
+		all = append(all, n.Step(nil)...)
 		if n.Quiescent() {
 			return all
 		}
@@ -77,13 +77,13 @@ func TestDefaultConfigMatchesTable1(t *testing.T) {
 func TestSingleHopDeliveredSameCycle(t *testing.T) {
 	n := mustNew(t, nil)
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
-	ds := n.Step()
+	ds := n.Step(nil)
 	if len(ds) != 1 || ds[0].MsgID != 1 || ds[0].Dst != 1 {
 		t.Fatalf("deliveries = %v", ds)
 	}
 	if !n.Quiescent() {
 		// The NIC slot is still reserved for the drop window.
-		n.Step()
+		n.Step(nil)
 	}
 	if !n.Quiescent() {
 		t.Error("network not quiescent after delivery")
@@ -94,7 +94,7 @@ func TestMaxHopsReachedInOneCycle(t *testing.T) {
 	// Distance 4 with MaxHops 4: one cycle.
 	n := mustNew(t, nil)
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{4}, Op: packet.OpSynthetic})
-	if ds := n.Step(); len(ds) != 1 {
+	if ds := n.Step(nil); len(ds) != 1 {
 		t.Fatalf("distance-4 packet not delivered in first cycle: %v", ds)
 	}
 }
@@ -108,7 +108,7 @@ func TestInterimNodePipelining(t *testing.T) {
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{63}, Op: packet.OpSynthetic})
 	var deliveredAt int64 = -1
 	for i := int64(0); i < 10; i++ {
-		if ds := n.Step(); len(ds) > 0 {
+		if ds := n.Step(nil); len(ds) > 0 {
 			deliveredAt = i
 			break
 		}
@@ -141,7 +141,7 @@ func TestInterimCountMatchesSegmentation(t *testing.T) {
 func TestEightHopNetworkSkipsInterims(t *testing.T) {
 	n := mustNew(t, func(c *Config) { c.MaxHops = 8 })
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{7}, Op: packet.OpSynthetic})
-	if ds := n.Step(); len(ds) != 1 {
+	if ds := n.Step(nil); len(ds) != 1 {
 		t.Fatal("7-link journey should complete in one cycle at MaxHops=8")
 	}
 	if n.Run().BufferedPackets != 0 {
@@ -157,14 +157,14 @@ func TestContentionBuffersLoser(t *testing.T) {
 	n := mustNew(t, nil)
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{3}, Op: packet.OpSynthetic})
 	n.Inject(sim.Message{ID: 2, Src: 1, Dsts: []mesh.NodeID{3}, Op: packet.OpSynthetic})
-	first := n.Step()
+	first := n.Step(nil)
 	if len(first) != 1 || first[0].MsgID != 2 {
 		t.Fatalf("cycle 0 deliveries = %v, want msg 2 only", first)
 	}
 	if n.Run().BufferedPackets != 1 {
 		t.Fatalf("buffered = %d, want 1", n.Run().BufferedPackets)
 	}
-	second := n.Step()
+	second := n.Step(nil)
 	if len(second) != 1 || second[0].MsgID != 1 {
 		t.Fatalf("cycle 1 deliveries = %v, want msg 1", second)
 	}
@@ -180,14 +180,14 @@ func TestStraightBeatsTurn(t *testing.T) {
 	n := mustNew(t, nil)
 	n.Inject(sim.Message{ID: 1, Src: 1, Dsts: []mesh.NodeID{17}, Op: packet.OpSynthetic})
 	n.Inject(sim.Message{ID: 2, Src: 8, Dsts: []mesh.NodeID{17}, Op: packet.OpSynthetic})
-	first := n.Step()
+	first := n.Step(nil)
 	if len(first) != 1 || first[0].MsgID != 1 {
 		t.Fatalf("cycle 0 deliveries = %v, want straight msg 1", first)
 	}
 	if n.Run().BufferedPackets != 1 {
 		t.Errorf("buffered = %d, want 1 (the turning packet)", n.Run().BufferedPackets)
 	}
-	second := n.Step()
+	second := n.Step(nil)
 	if len(second) != 1 || second[0].MsgID != 2 {
 		t.Fatalf("cycle 1 deliveries = %v, want msg 2", second)
 	}
@@ -353,12 +353,12 @@ func TestConservationUnderLoad(t *testing.T) {
 					injected[id] = dst
 				}
 			}
-			n.Step()
+			n.Step(nil)
 			checkQueueBounds(t, n)
 		}
 		delivered := make(map[uint64]int)
 		for i := 0; i < 20000 && !n.Quiescent(); i++ {
-			for _, d := range n.Step() {
+			for _, d := range n.Step(nil) {
 				if injected[d.MsgID] != d.Dst {
 					t.Fatalf("buffers=%d: msg %d delivered to %d, want %d", buffers, d.MsgID, d.Dst, injected[d.MsgID])
 				}
@@ -403,10 +403,10 @@ func TestExactOnceDelivery(t *testing.T) {
 				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 			}
 		}
-		collect(n.Step())
+		collect(n.Step(nil))
 	}
 	for i := 0; i < 30000 && !n.Quiescent(); i++ {
-		collect(n.Step())
+		collect(n.Step(nil))
 	}
 	if !n.Quiescent() {
 		t.Fatal("network failed to drain")
@@ -437,7 +437,7 @@ func TestDeterminism(t *testing.T) {
 					n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 				}
 			}
-			n.Step()
+			n.Step(nil)
 		}
 		r := n.Run()
 		return r.Drops, r.Retries, r.LinkTraversals
@@ -479,7 +479,7 @@ func TestInfiniteBuffersNeverDrop(t *testing.T) {
 				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 			}
 		}
-		n.Step()
+		n.Step(nil)
 	}
 	if n.Run().Drops != 0 {
 		t.Errorf("infinite buffers dropped %d packets", n.Run().Drops)
@@ -608,12 +608,12 @@ func TestArbiterPoliciesDeliver(t *testing.T) {
 					n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 				}
 			}
-			for _, d := range n.Step() {
+			for _, d := range n.Step(nil) {
 				delivered[d.MsgID]++
 			}
 		}
 		for i := 0; i < 20000 && !n.Quiescent(); i++ {
-			for _, d := range n.Step() {
+			for _, d := range n.Step(nil) {
 				delivered[d.MsgID]++
 			}
 		}
@@ -653,7 +653,7 @@ func TestTracerEventSequence(t *testing.T) {
 	n.SetTracer(func(e Event) { events = append(events, e) })
 	// 0 -> 2: launch, one pass at router 1, eject at 2.
 	n.Inject(sim.Message{ID: 9, Src: 0, Dsts: []mesh.NodeID{2}, Op: packet.OpSynthetic})
-	n.Step()
+	n.Step(nil)
 	want := []EventKind{EventLaunch, EventPass, EventEject}
 	if len(events) != len(want) {
 		t.Fatalf("events = %v", events)
@@ -669,7 +669,7 @@ func TestTracerEventSequence(t *testing.T) {
 	// Tracing off again: no more events.
 	n.SetTracer(nil)
 	n.Inject(sim.Message{ID: 10, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
-	n.Step()
+	n.Step(nil)
 	if len(events) != len(want) {
 		t.Error("events recorded after tracer removed")
 	}

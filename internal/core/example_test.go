@@ -15,7 +15,7 @@ func ExampleNetwork() {
 	net := core.New(core.DefaultConfig())
 	net.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{4}, Op: packet.OpSynthetic})
 	for !net.Quiescent() {
-		for _, d := range net.Step() {
+		for _, d := range net.Step(nil) {
 			fmt.Printf("msg %d delivered to node %d\n", d.MsgID, d.Dst)
 		}
 	}
@@ -34,7 +34,7 @@ func ExampleNetwork_broadcast() {
 	net.Inject(sim.Message{ID: 7, Src: 0, Dsts: everyone, Op: packet.OpReadReq})
 	served := 0
 	for !net.Quiescent() {
-		served += len(net.Step())
+		served += len(net.Step(nil))
 	}
 	fmt.Printf("broadcast served %d nodes\n", served)
 	// Output:

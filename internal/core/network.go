@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"phastlane/internal/mesh"
 	"phastlane/internal/packet"
@@ -28,14 +27,21 @@ type parcel struct {
 	control packet.Control
 	launch  mesh.Dir
 	// remaining lists the multicast destinations not yet served, in
-	// sweep order. Nil for unicast parcels.
+	// sweep order. Nil for unicast parcels. It slides forward over
+	// remBuf, the parcel-owned backing array the free list preserves
+	// across reuses.
 	remaining []mesh.NodeID
+	remBuf    []mesh.NodeID
 	multicast bool
 	retries   int
 	// eligibleAt gates relaunch (buffer turnaround, drop backoff);
 	// enqueuedAt records when the parcel entered its current queue
 	// (for the oldest-first arbiter).
 	eligibleAt, enqueuedAt int64
+	// skipAt marks the parcel as passed over by this cycle's arbiter
+	// (its output port was already granted), replacing the per-router
+	// skip set the launch loop used to allocate each cycle.
+	skipAt int64
 }
 
 // outcome of one transmission attempt, resolved within the launch cycle and
@@ -44,7 +50,8 @@ type outcome int
 
 const (
 	outcomePending  outcome = iota
-	outcomeSafe             // delivered, or buffered downstream
+	outcomeSafe             // buffered downstream; the parcel lives on
+	outcomeRetired          // delivered; the parcel is finished
 	outcomeDropped          // drop signal returns to the owner
 	outcomeComplete         // dropped, but no deliveries remained
 )
@@ -129,6 +136,19 @@ type Network struct {
 	// tracer receives router events when set (SetTracer).
 	tracer func(Event)
 
+	// Free lists and per-cycle scratch, reused across Step calls so the
+	// steady-state simulation loop performs no allocation. parcelFree
+	// and flightFree pool the two hot-path object kinds; flights is the
+	// registry of flight objects lent out this cycle; walkActive and
+	// walkCont are the wavefront/contender scratch of walk; sweepDirs
+	// backs multicast route rebuilds.
+	parcelFree []*parcel
+	flightFree []*flight
+	flights    []*flight
+	walkActive []*flight
+	walkCont   []*flight
+	sweepDirs  []mesh.Dir
+
 	run   stats.Run
 	cycle int64
 }
@@ -155,11 +175,47 @@ func New(cfg Config) *Network {
 	}
 	for i := range n.routers {
 		for d := 0; d < mesh.NumDirs; d++ {
-			n.routers[i].queues[d].cap = cfg.BufferEntries
+			q := &n.routers[i].queues[d]
+			q.cap = cfg.BufferEntries
+			if mesh.Dir(d) == mesh.Local {
+				q.cap = cfg.NICEntries
+			}
+			// Bounded queues get their full backing up front so the
+			// steady-state loop never grows them.
+			if q.cap > 0 {
+				q.items = make([]*parcel, 0, q.cap)
+			}
 		}
-		n.routers[i].queues[mesh.Local].cap = cfg.NICEntries
 	}
 	return n
+}
+
+// getParcel takes a parcel from the free list (or allocates one) and
+// resets it to a fresh state, keeping the multicast backing array.
+func (n *Network) getParcel() *parcel {
+	if k := len(n.parcelFree); k > 0 {
+		p := n.parcelFree[k-1]
+		n.parcelFree = n.parcelFree[:k-1]
+		rem := p.remBuf
+		*p = parcel{remBuf: rem[:0], skipAt: -1}
+		return p
+	}
+	return &parcel{skipAt: -1}
+}
+
+// putParcel returns a finished parcel to the free list. Callers must not
+// touch the parcel afterwards: the next Inject may reuse it.
+func (n *Network) putParcel(p *parcel) { n.parcelFree = append(n.parcelFree, p) }
+
+// getFlight takes a zeroed flight from the free list or allocates one.
+func (n *Network) getFlight() *flight {
+	if k := len(n.flightFree); k > 0 {
+		f := n.flightFree[k-1]
+		n.flightFree = n.flightFree[:k-1]
+		*f = flight{}
+		return f
+	}
+	return &flight{}
 }
 
 // Config returns the network's configuration.
@@ -186,11 +242,12 @@ func (n *Network) Quiescent() bool { return n.live == 0 }
 // unicast parcel; a broadcast (every node except the source) becomes up to
 // 16 multicast column-sweep parcels assembled by the NIC, which together
 // are charged against the injection queue. It panics when the NIC is full
-// or the destination set is neither unicast nor full broadcast.
+// or the destination set is neither unicast nor full broadcast. The
+// message's Dsts slice is not retained.
 func (n *Network) Inject(m sim.Message) {
 	nic := &n.routers[m.Src].queues[mesh.Local]
 	if nic.free() <= 0 {
-		panic(fmt.Sprintf("core: inject into full NIC at node %d", m.Src))
+		panic(fmt.Sprintf("core: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, nic.free()))
 	}
 	n.run.Injected++
 	switch {
@@ -198,38 +255,26 @@ func (n *Network) Inject(m sim.Message) {
 		if m.Dsts[0] == m.Src {
 			panic("core: self-directed message")
 		}
-		ctl, launch := packet.BuildControl(n.m, m.Src, m.Dsts[0])
-		ctl.MarkInterims(n.cfg.MaxHops)
-		nic.items = append(nic.items, &parcel{
-			msgID: m.ID, op: m.Op, src: m.Src, dst: m.Dsts[0],
-			owner: m.Src, control: ctl, launch: launch,
-			eligibleAt: n.cycle, enqueuedAt: n.cycle,
-		})
-		n.live++
+		n.enqueueUnicast(nic, m, m.Dsts[0])
 	case len(m.Dsts) == n.m.Nodes()-1:
 		if n.cfg.UnicastBroadcast {
 			// Ablation: a broadcast as 63 independent unicasts.
 			for _, dst := range m.Dsts {
-				ctl, launch := packet.BuildControl(n.m, m.Src, dst)
-				ctl.MarkInterims(n.cfg.MaxHops)
-				nic.items = append(nic.items, &parcel{
-					msgID: m.ID, op: m.Op, src: m.Src, dst: dst,
-					owner: m.Src, control: ctl, launch: launch,
-					eligibleAt: n.cycle, enqueuedAt: n.cycle,
-				})
-				n.live++
+				n.enqueueUnicast(nic, m, dst)
 			}
 			return
 		}
 		for _, msg := range packet.BuildBroadcast(n.m, m.Src, n.cfg.MaxHops) {
-			remaining := append([]mesh.NodeID(nil), msg.Delivers...)
-			nic.items = append(nic.items, &parcel{
-				msgID: m.ID, op: m.Op, src: m.Src,
-				dst:   remaining[len(remaining)-1],
-				owner: m.Src, control: msg.Control, launch: msg.Launch,
-				remaining: remaining, multicast: true,
-				eligibleAt: n.cycle, enqueuedAt: n.cycle,
-			})
+			p := n.getParcel()
+			p.msgID, p.op, p.src = m.ID, m.Op, m.Src
+			p.owner = m.Src
+			p.control, p.launch = msg.Control, msg.Launch
+			p.remBuf = append(p.remBuf[:0], msg.Delivers...)
+			p.remaining = p.remBuf
+			p.dst = p.remaining[len(p.remaining)-1]
+			p.multicast = true
+			p.eligibleAt, p.enqueuedAt = n.cycle, n.cycle
+			nic.items = append(nic.items, p)
 			n.live++
 		}
 	default:
@@ -237,26 +282,50 @@ func (n *Network) Inject(m sim.Message) {
 	}
 }
 
+// enqueueUnicast builds one unicast parcel from the free list and queues
+// it on the source NIC.
+func (n *Network) enqueueUnicast(nic *pqueue, m sim.Message, dst mesh.NodeID) {
+	ctl, launch := packet.BuildControl(n.m, m.Src, dst)
+	ctl.MarkInterims(n.cfg.MaxHops)
+	p := n.getParcel()
+	p.msgID, p.op, p.src, p.dst = m.ID, m.Op, m.Src, dst
+	p.owner = m.Src
+	p.control, p.launch = ctl, launch
+	p.eligibleAt, p.enqueuedAt = n.cycle, n.cycle
+	nic.items = append(nic.items, p)
+	n.live++
+}
+
 // Step implements sim.Network: resolve last cycle's drop window, launch new
 // transmissions under rotating/fixed priority, walk them through the mesh,
-// and account leakage.
-func (n *Network) Step() []sim.Delivery {
+// and account leakage. Deliveries are appended to buf per the sim.Network
+// buffer-ownership contract; the warmed-up loop performs no allocation.
+func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 	n.resolveDropWindow()
 	flights := n.launch()
-	deliveries := n.walk(flights)
+	buf = n.walk(flights, buf)
+	// All flights have landed (delivered, buffered, or dropped); return
+	// them to the free list for the next cycle.
+	n.flightFree = append(n.flightFree, n.flights...)
+	n.flights = n.flights[:0]
 	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
 	n.cycle++
-	return deliveries
+	return buf
 }
 
 // resolveDropWindow acts on the previous cycle's launches: safe launches
 // release their buffer slot; dropped parcels re-enter the owner's queue
-// with randomised exponential backoff.
+// with randomised exponential backoff. Parcels whose journey finished
+// (delivered, or dropped with nothing left to deliver) return to the free
+// list here, once nothing references them any more.
 func (n *Network) resolveDropWindow() {
 	for _, rec := range n.pending {
 		switch rec.result {
-		case outcomeSafe, outcomeComplete:
+		case outcomeSafe:
 			rec.q.reserved--
+		case outcomeRetired, outcomeComplete:
+			rec.q.reserved--
+			n.putParcel(rec.p)
 		case outcomeDropped:
 			rec.q.reserved--
 			p := rec.p
@@ -297,18 +366,17 @@ func (n *Network) backoff(retries int) int64 {
 // so a single busy queue (e.g. a NIC holding a 16-sweep broadcast) can use
 // several output ports in one cycle without starving the others.
 func (n *Network) launch() []*flight {
-	var flights []*flight
+	flights := n.flights[:0]
 	for node := range n.routers {
 		r := &n.routers[node]
 		var granted [mesh.NumLinkDirs]bool
 		grants := 0
-		skip := make(map[*parcel]bool)
 		order := n.queueOrder(r)
 		for round := 0; round < mesh.NumLinkDirs && grants < mesh.NumLinkDirs; round++ {
 			progressed := false
 			for k := 0; k < mesh.NumDirs && grants < mesh.NumLinkDirs; k++ {
 				q := &r.queues[order[k]]
-				p := n.launchCandidate(q, skip, granted[:])
+				p := n.launchCandidate(q, granted[:])
 				if p == nil {
 					continue
 				}
@@ -318,11 +386,10 @@ func (n *Network) launch() []*flight {
 				q.take(p)
 				rec := launchRecord{p: p, q: q, control: p.control, launch: p.launch, result: outcomePending}
 				n.pending = append(n.pending, rec)
-				f := &flight{
-					p: p, rec: len(n.pending) - 1,
-					at: mesh.NodeID(node), travel: p.launch,
-					control: p.control,
-				}
+				f := n.getFlight()
+				f.p, f.rec = p, len(n.pending)-1
+				f.at, f.travel = mesh.NodeID(node), p.launch
+				f.control = p.control
 				n.claim(mesh.NodeID(node), p.launch)
 				flights = append(flights, f)
 				n.emit(EventLaunch, p.msgID, mesh.NodeID(node), p.launch)
@@ -339,6 +406,7 @@ func (n *Network) launch() []*flight {
 		}
 		r.rotate = (r.rotate + 1) % mesh.NumDirs
 	}
+	n.flights = flights
 	return flights
 }
 
@@ -349,32 +417,32 @@ func (n *Network) queueOrder(r *router) [mesh.NumDirs]int {
 	switch n.cfg.Arbiter {
 	case ArbOldestFirst:
 		// Queues whose oldest eligible parcel has waited longest go
-		// first; empty queues last.
-		type qAge struct {
-			idx int
-			age int64
-		}
-		ages := make([]qAge, 0, mesh.NumDirs)
+		// first; empty queues last. Sorted in place with a stable
+		// insertion sort over the five fixed slots: equivalent to
+		// sort.SliceStable, without its per-cycle allocations.
+		var ages [mesh.NumDirs]int64
 		for i := 0; i < mesh.NumDirs; i++ {
-			age := int64(-1 << 62)
+			order[i] = i
+			ages[i] = -1 << 62
 			if p := r.queues[i].headEligible(n.cycle); p != nil {
-				age = n.cycle - p.enqueuedAt
+				ages[i] = n.cycle - p.enqueuedAt
 			}
-			ages = append(ages, qAge{idx: i, age: age})
 		}
-		sort.SliceStable(ages, func(a, b int) bool { return ages[a].age > ages[b].age })
-		for i, qa := range ages {
-			order[i] = qa.idx
+		for i := 1; i < mesh.NumDirs; i++ {
+			for j := i; j > 0 && ages[order[j]] > ages[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
 		}
 	case ArbLongestQueue:
-		type qLen struct{ idx, occ int }
-		occ := make([]qLen, 0, mesh.NumDirs)
+		var occ [mesh.NumDirs]int
 		for i := 0; i < mesh.NumDirs; i++ {
-			occ = append(occ, qLen{idx: i, occ: len(r.queues[i].items)})
+			order[i] = i
+			occ[i] = len(r.queues[i].items)
 		}
-		sort.SliceStable(occ, func(a, b int) bool { return occ[a].occ > occ[b].occ })
-		for i, ql := range occ {
-			order[i] = ql.idx
+		for i := 1; i < mesh.NumDirs; i++ {
+			for j := i; j > 0 && occ[order[j]] > occ[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
 		}
 	default: // ArbRotating
 		for i := 0; i < mesh.NumDirs; i++ {
@@ -385,11 +453,12 @@ func (n *Network) queueOrder(r *router) [mesh.NumDirs]int {
 }
 
 // launchCandidate returns the first eligible parcel of q whose output port
-// is still free, or nil. Parcels whose port is taken are remembered in skip
-// so later rounds do not re-resegment them.
-func (n *Network) launchCandidate(q *pqueue, skip map[*parcel]bool, granted []bool) *parcel {
+// is still free, or nil. Parcels whose port is taken are marked (skipAt)
+// so later rounds do not re-resegment them; the mark is the current cycle,
+// so it expires on its own without per-cycle bookkeeping.
+func (n *Network) launchCandidate(q *pqueue, granted []bool) *parcel {
 	for _, p := range q.items {
-		if p.eligibleAt > n.cycle || skip[p] {
+		if p.eligibleAt > n.cycle || p.skipAt == n.cycle {
 			continue
 		}
 		if n.cfg.Bypass {
@@ -399,7 +468,7 @@ func (n *Network) launchCandidate(q *pqueue, skip map[*parcel]bool, granted []bo
 			panic("core: parcel launches toward its own node")
 		}
 		if granted[p.launch] {
-			skip[p] = true
+			p.skipAt = n.cycle
 			continue
 		}
 		return p
@@ -412,7 +481,7 @@ func (n *Network) launchCandidate(q *pqueue, skip map[*parcel]bool, granted []bo
 // original interim nodes and head as far as MaxHops allows.
 func (n *Network) resegment(p *parcel) {
 	if p.multicast {
-		ctl, launch := buildSweepFrom(n.m, p.owner, p.remaining, n.cfg.MaxHops)
+		ctl, launch := n.buildSweepFrom(p.owner, p.remaining, n.cfg.MaxHops)
 		p.control, p.launch = ctl, launch
 		return
 	}
@@ -423,28 +492,27 @@ func (n *Network) resegment(p *parcel) {
 
 // buildSweepFrom reconstructs a multicast sweep control from node src
 // through the remaining delivery targets (which, by construction, lie in
-// one column in sweep order, approached dimension-order).
-func buildSweepFrom(m *mesh.Mesh, src mesh.NodeID, remaining []mesh.NodeID, maxHops int) (packet.Control, mesh.Dir) {
+// one column in sweep order, approached dimension-order). It runs on the
+// bypass relaunch hot path and borrows the network's sweepDirs scratch
+// instead of allocating.
+func (n *Network) buildSweepFrom(src mesh.NodeID, remaining []mesh.NodeID, maxHops int) (packet.Control, mesh.Dir) {
+	m := n.m
 	if len(remaining) == 0 {
 		panic("core: multicast relaunch with no remaining destinations")
 	}
 	if remaining[0] == src {
 		panic("core: multicast relaunch targeting the owner itself")
 	}
-	dirs := m.Route(src, remaining[0])
+	dirs := m.AppendRoute(n.sweepDirs[:0], src, remaining[0])
 	cur := remaining[0]
 	for _, next := range remaining[1:] {
-		seg := m.Route(cur, next)
-		if len(seg) != 1 {
+		if m.HopDistance(cur, next) != 1 {
 			panic(fmt.Sprintf("core: non-contiguous multicast remainder %d->%d", cur, next))
 		}
-		dirs = append(dirs, seg...)
+		dirs = append(dirs, m.RouteDir(cur, next, 0))
 		cur = next
 	}
-	deliver := make(map[mesh.NodeID]bool, len(remaining))
-	for _, d := range remaining {
-		deliver[d] = true
-	}
+	n.sweepDirs = dirs
 	// Truncate over-long reconstructions at an interim stop, as
 	// packet.BuildControl does; the interim rebuilds the rest.
 	var contDir mesh.Dir
@@ -462,11 +530,18 @@ func buildSweepFrom(m *mesh.Mesh, src mesh.NodeID, remaining []mesh.NodeID, maxH
 			panic("core: multicast resegment walks off mesh")
 		}
 		at = next
+		deliver := false
+		for _, r := range remaining {
+			if r == at {
+				deliver = true
+				break
+			}
+		}
 		out := mesh.Local
 		if i+1 < len(dirs) {
 			out = dirs[i+1]
 		}
-		ctl.Groups[i] = packet.GroupForStep(d, out, deliver[at])
+		ctl.Groups[i] = packet.GroupForStep(d, out, deliver)
 		ctl.Used = i + 1
 	}
 	if truncated {

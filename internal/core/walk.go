@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"phastlane/internal/mesh"
 	"phastlane/internal/packet"
@@ -11,7 +10,8 @@ import (
 
 // flight is one transmission attempt during the current cycle: a parcel
 // moving through the optical mesh, covering up to MaxHops links before it
-// is accepted, buffered, or dropped.
+// is accepted, buffered, or dropped. Flights are pooled on the network
+// (flightFree) and live for exactly one Step.
 type flight struct {
 	p   *parcel
 	rec int // index into Network.pending
@@ -30,12 +30,14 @@ type flight struct {
 // walk advances all launched flights through the mesh in lockstep hop
 // steps, resolving link contention with the paper's fixed priority:
 // earlier claims win (packets already in the switch), then straight-through
-// beats turns, then input-port order N, E, S, W.
-func (n *Network) walk(flights []*flight) []sim.Delivery {
-	var deliveries []sim.Delivery
-	active := flights
+// beats turns, then input-port order N, E, S, W. Deliveries are appended
+// to buf; the wavefront and contender lists live in network scratch
+// (walkActive, walkCont) so the loop does not allocate.
+func (n *Network) walk(flights []*flight, buf []sim.Delivery) []sim.Delivery {
+	active := append(n.walkActive[:0], flights...)
+	contenders := n.walkCont
 	for len(active) > 0 {
-		var contenders []*flight
+		contenders = contenders[:0]
 		for _, f := range active {
 			next, ok := n.m.Neighbor(f.at, f.travel)
 			if !ok {
@@ -55,7 +57,7 @@ func (n *Network) walk(flights []*flight) []sim.Delivery {
 			// blocking or dropping.
 			if g.Multicast && len(f.p.remaining) > 0 && f.p.remaining[0] == f.at {
 				f.p.remaining = f.p.remaining[1:]
-				deliveries = append(deliveries, sim.Delivery{MsgID: f.p.msgID, Dst: f.at})
+				buf = append(buf, sim.Delivery{MsgID: f.p.msgID, Dst: f.at})
 				n.run.ElectricalEnergyPJ += n.energy.ReceivePJ
 				n.emit(EventTap, f.p.msgID, f.at, mesh.Local)
 			}
@@ -63,7 +65,7 @@ func (n *Network) walk(flights []*flight) []sim.Delivery {
 			case g.Local && !g.Transit():
 				// Final stop: eject to the local node.
 				if !f.p.multicast {
-					deliveries = append(deliveries, sim.Delivery{MsgID: f.p.msgID, Dst: f.at})
+					buf = append(buf, sim.Delivery{MsgID: f.p.msgID, Dst: f.at})
 					n.run.ElectricalEnergyPJ += n.energy.ReceivePJ
 				}
 				n.emit(EventEject, f.p.msgID, f.at, mesh.Local)
@@ -86,22 +88,18 @@ func (n *Network) walk(flights []*flight) []sim.Delivery {
 		// all later requests outright. With RoundRobinTurns the
 		// straight-over-turn rule is dropped and the favoured input
 		// port rotates each cycle (the paper's footnote-3
-		// alternative).
+		// alternative). The stable insertion sort reproduces
+		// sort.SliceStable's ordering without its allocations.
 		rotate := 0
 		if n.cfg.RoundRobinTurns {
 			rotate = int(n.cycle) % mesh.NumLinkDirs
 		}
-		sort.SliceStable(contenders, func(i, j int) bool {
-			if !n.cfg.RoundRobinTurns {
-				si, sj := contenders[i].next == contenders[i].travel, contenders[j].next == contenders[j].travel
-				if si != sj {
-					return si
-				}
+		rrTurns := n.cfg.RoundRobinTurns
+		for i := 1; i < len(contenders); i++ {
+			for j := i; j > 0 && contenderLess(contenders[j], contenders[j-1], rrTurns, rotate); j-- {
+				contenders[j], contenders[j-1] = contenders[j-1], contenders[j]
 			}
-			pi := (int(contenders[i].travel.Opposite()) + rotate) % mesh.NumLinkDirs
-			pj := (int(contenders[j].travel.Opposite()) + rotate) % mesh.NumLinkDirs
-			return pi < pj
-		})
+		}
 		active = active[:0]
 		for _, f := range contenders {
 			if n.claimed(f.at, f.next) {
@@ -114,12 +112,29 @@ func (n *Network) walk(flights []*flight) []sim.Delivery {
 			active = append(active, f)
 		}
 	}
-	return deliveries
+	n.walkActive, n.walkCont = active, contenders
+	return buf
 }
 
-// finish marks a flight's transmission safe and retires the parcel.
+// contenderLess is the output-link priority order: straight-through beats
+// turns (unless RoundRobinTurns), then input-port order, rotated when the
+// round-robin alternative is on.
+func contenderLess(a, b *flight, rrTurns bool, rotate int) bool {
+	if !rrTurns {
+		sa, sb := a.next == a.travel, b.next == b.travel
+		if sa != sb {
+			return sa
+		}
+	}
+	pa := (int(a.travel.Opposite()) + rotate) % mesh.NumLinkDirs
+	pb := (int(b.travel.Opposite()) + rotate) % mesh.NumLinkDirs
+	return pa < pb
+}
+
+// finish marks a flight's transmission delivered and retires the parcel;
+// the free list reclaims it at the next drop-window resolution.
 func (n *Network) finish(f *flight) {
-	n.pending[f.rec].result = outcomeSafe
+	n.pending[f.rec].result = outcomeRetired
 	n.live--
 }
 

@@ -100,9 +100,11 @@ type Network struct {
 	// broadcast bus.
 	channels []channel
 	inFlight []delivery
-	live     int
-	run      stats.Run
-	cycle    int64
+	// writing is per-cycle scratch: which nodes already drove a channel.
+	writing []bool
+	live    int
+	run     stats.Run
+	cycle   int64
 }
 
 var _ sim.Network = (*Network)(nil)
@@ -117,6 +119,7 @@ func New(cfg Config) *Network {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		queues:   make([][]*request, cfg.Nodes),
 		channels: make([]channel, cfg.Nodes+1),
+		writing:  make([]bool, cfg.Nodes),
 	}
 }
 
@@ -140,8 +143,8 @@ func (n *Network) Quiescent() bool { return n.live == 0 && len(n.inFlight) == 0 
 
 // Inject implements sim.Network.
 func (n *Network) Inject(m sim.Message) {
-	if n.NICFree(m.Src) <= 0 {
-		panic(fmt.Sprintf("corona: inject into full NIC at node %d", m.Src))
+	if free := n.NICFree(m.Src); free <= 0 {
+		panic(fmt.Sprintf("corona: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
 	}
 	n.run.Injected++
 	r := &request{msgID: m.ID, src: m.Src,
@@ -174,8 +177,10 @@ func (n *Network) propCycles(src, dst mesh.NodeID) int64 {
 
 // Step implements sim.Network: deliver matured transactions, then let each
 // free channel serve its next writer in round-robin token order.
-func (n *Network) Step() []sim.Delivery {
-	var out []sim.Delivery
+// Deliveries are appended to buf (see sim.Network for the
+// buffer-ownership contract).
+func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	out := buf
 	rest := n.inFlight[:0]
 	for _, d := range n.inFlight {
 		if d.at <= n.cycle {
@@ -187,8 +192,12 @@ func (n *Network) Step() []sim.Delivery {
 	n.inFlight = rest
 
 	// One write per node per cycle: a node's modulator bank drives one
-	// channel at a time.
-	writing := make([]bool, n.cfg.Nodes)
+	// channel at a time. The flag slice is network scratch, reused
+	// across cycles.
+	writing := n.writing
+	for i := range writing {
+		writing[i] = false
+	}
 	for ch := range n.channels {
 		n.serveChannel(ch, writing)
 	}
@@ -213,7 +222,8 @@ func (n *Network) serveChannel(ch int, writing []bool) {
 			continue
 		}
 		// Seize the token and transmit.
-		n.queues[writer] = n.queues[writer][1:]
+		copy(n.queues[writer], n.queues[writer][1:])
+		n.queues[writer] = n.queues[writer][:len(n.queues[writer])-1]
 		writing[writer] = true
 		c.rr = (writer + 1) % n.cfg.Nodes
 		c.freeAt = n.cycle + 1 + int64(n.cfg.TokenTurnaround)

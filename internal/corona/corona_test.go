@@ -13,7 +13,7 @@ func stepUntilQuiescent(t *testing.T, n *Network, limit int) []sim.Delivery {
 	t.Helper()
 	var all []sim.Delivery
 	for i := 0; i < limit; i++ {
-		all = append(all, n.Step()...)
+		all = append(all, n.Step(nil)...)
 		if n.Quiescent() {
 			return all
 		}
@@ -56,7 +56,7 @@ func TestUnicastLatencyBounded(t *testing.T) {
 	n := New(cfg)
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: []mesh.NodeID{32}, Op: packet.OpSynthetic})
 	for i := 0; i < 3*cfg.RingCycles+2; i++ {
-		if ds := n.Step(); len(ds) == 1 {
+		if ds := n.Step(nil); len(ds) == 1 {
 			return
 		}
 	}
@@ -97,7 +97,7 @@ func TestChannelSerialisation(t *testing.T) {
 	n.Inject(sim.Message{ID: 2, Src: 2, Dsts: []mesh.NodeID{10}, Op: packet.OpSynthetic})
 	arrival := map[uint64]int{}
 	for i := 0; i < 60; i++ {
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			arrival[d.MsgID] = i
 		}
 		if len(arrival) == 2 {
@@ -164,12 +164,12 @@ func TestExactOnceUnderLoad(t *testing.T) {
 				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 			}
 		}
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			delivered[d.MsgID]++
 		}
 	}
 	for i := 0; i < 5000 && !n.Quiescent(); i++ {
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			delivered[d.MsgID]++
 		}
 	}

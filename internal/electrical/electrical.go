@@ -73,11 +73,16 @@ func (c Config) Validate() error {
 }
 
 // epacket is one logical packet (a single flit). Multicast packets carry
-// their VCTM tree and are replicated in-network at branch routers.
+// their VCTM tree and are replicated in-network at branch routers; all
+// replicas share one epacket, tracked by refs. Packets are pooled on the
+// network (pktFree) and recycled when the last reference drops.
 type epacket struct {
 	msgID uint64
 	dst   mesh.NodeID // unicast destination; ignored when tree != nil
 	tree  *vctm.Tree
+	// refs counts live holders: the NIC entry or VC slot owning the
+	// packet plus every in-transit link arrival.
+	refs int
 }
 
 // branch is one pending replication of a packet out of a router.
@@ -127,6 +132,15 @@ type Network struct {
 	routers []erouter
 	transit []arrival
 	trees   map[string]*vctm.Tree
+	// bcast caches the full-broadcast VCTM tree per source so the common
+	// broadcast inject skips the map-key allocation of vctm.Key.
+	bcast []*vctm.Tree
+	// pktFree is the epacket free list; vcReqs/vcFree are the VC
+	// allocator's per-call scratch. All exist so the steady-state Step
+	// loop allocates nothing.
+	pktFree []*epacket
+	vcReqs  []bool
+	vcFree  []bool
 	// tracer receives router events when set (SetTracer).
 	tracer func(obs.Event)
 	run    stats.Run
@@ -135,6 +149,7 @@ type Network struct {
 
 var (
 	_ sim.Network   = (*Network)(nil)
+	_ sim.Traceable = (*Network)(nil)
 	_ obs.Traceable = (*Network)(nil)
 )
 
@@ -164,12 +179,17 @@ func New(cfg Config) *Network {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		routers: make([]erouter, m.Nodes()),
 		trees:   make(map[string]*vctm.Tree),
+		bcast:   make([]*vctm.Tree, m.Nodes()),
+		vcReqs:  make([]bool, mesh.NumDirs*cfg.VCs),
+		vcFree:  make([]bool, cfg.VCs),
 	}
 	for i := range n.routers {
 		r := &n.routers[i]
 		for p := 0; p < mesh.NumDirs; p++ {
 			r.vcs[p] = make([]vcState, cfg.VCs)
 		}
+		// The NIC queue is bounded; give it its full backing up front.
+		r.nic = make([]*epacket, 0, cfg.NICEntries)
 		for p := 0; p < mesh.NumLinkDirs; p++ {
 			r.va[p] = islip.New(mesh.NumDirs*cfg.VCs, cfg.VCs, 1, cfg.Iterations)
 		}
@@ -217,14 +237,65 @@ func (n *Network) Quiescent() bool {
 	return true
 }
 
+// getPacket takes an epacket from the free list (or allocates one) and
+// resets it; the caller sets all fields.
+func (n *Network) getPacket() *epacket {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		*p = epacket{}
+		return p
+	}
+	return &epacket{}
+}
+
+// dropRef releases one reference to p, returning it to the free list when
+// the last holder lets go. Callers must not touch p afterwards.
+func (n *Network) dropRef(p *epacket) {
+	p.refs--
+	if p.refs == 0 {
+		n.pktFree = append(n.pktFree, p)
+	}
+}
+
+// broadcastTree returns the cached full-broadcast tree for src when dsts is
+// exactly "every node but src" in ascending order (the shape the sim
+// harness emits), or nil so the caller falls back to the keyed cache. The
+// per-source cache avoids vctm.Key's string allocation on the hot inject
+// path of broadcast-heavy workloads.
+func (n *Network) broadcastTree(src mesh.NodeID, dsts []mesh.NodeID) *vctm.Tree {
+	nodes := n.m.Nodes()
+	if len(dsts) != nodes-1 {
+		return nil
+	}
+	want := mesh.NodeID(0)
+	for _, d := range dsts {
+		if want == src {
+			want++
+		}
+		if d != want {
+			return nil
+		}
+		want++
+	}
+	if t := n.bcast[src]; t != nil {
+		return t
+	}
+	t := vctm.Build(n.m, src, dsts)
+	n.bcast[src] = t
+	return t
+}
+
 // Inject implements sim.Network. Broadcasts become a single packet with a
 // cached VCTM tree, replicated at branch routers.
 func (n *Network) Inject(m sim.Message) {
-	if n.NICFree(m.Src) <= 0 {
-		panic(fmt.Sprintf("electrical: inject into full NIC at node %d", m.Src))
+	if free := n.NICFree(m.Src); free <= 0 {
+		panic(fmt.Sprintf("electrical: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
 	}
 	n.run.Injected++
-	p := &epacket{msgID: m.ID}
+	p := n.getPacket()
+	p.msgID = m.ID
+	p.refs = 1
 	switch {
 	case len(m.Dsts) == 1:
 		if m.Dsts[0] == m.Src {
@@ -232,6 +303,10 @@ func (n *Network) Inject(m sim.Message) {
 		}
 		p.dst = m.Dsts[0]
 	case len(m.Dsts) > 1:
+		if tree := n.broadcastTree(m.Src, m.Dsts); tree != nil {
+			p.tree = tree
+			break
+		}
 		key := vctm.Key(m.Src, m.Dsts)
 		tree, ok := n.trees[key]
 		if !ok {
@@ -245,29 +320,35 @@ func (n *Network) Inject(m sim.Message) {
 	n.routers[m.Src].nic = append(n.routers[m.Src].nic, p)
 }
 
-// branchesAt computes the replication set of a packet at a router: the
-// onward directions and whether it ejects locally.
-func (n *Network) branchesAt(p *epacket, at mesh.NodeID) ([]branch, bool) {
+// fill loads a packet into an empty VC, computing its replication set (the
+// onward branches and whether it ejects locally) into the VC's reusable
+// branch scratch. The VC keeps its branch backing array across occupants so
+// the steady-state loop does not allocate.
+func (n *Network) fill(vc *vcState, p *epacket, at mesh.NodeID) {
+	bs := vc.branches[:0]
+	deliver := false
 	if p.tree != nil {
-		dirs := p.tree.Children(at)
-		bs := make([]branch, len(dirs))
-		for i, d := range dirs {
-			bs[i] = branch{dir: d, outVC: -1}
+		for _, d := range p.tree.Children(at) {
+			bs = append(bs, branch{dir: d, outVC: -1})
 		}
-		return bs, p.tree.Deliver(at)
+		deliver = p.tree.Deliver(at)
+	} else if at == p.dst {
+		deliver = true
+	} else {
+		bs = append(bs, branch{dir: n.m.RouteDir(at, p.dst, 0), outVC: -1})
 	}
-	if at == p.dst {
-		return nil, true
-	}
-	route := n.m.Route(at, p.dst)
-	return []branch{{dir: route[0], outVC: -1}}, false
+	vc.pkt = p
+	vc.age = 0
+	vc.deliver = deliver
+	vc.branches = bs
+	vc.availAt = 0
+	vc.reserved = false
 }
 
 // Step implements sim.Network: apply link arrivals, eject, inject, run VC
-// allocation then switch allocation, launch winners, age VCs.
-func (n *Network) Step() []sim.Delivery {
-	var deliveries []sim.Delivery
-
+// allocation then switch allocation, launch winners, age VCs. Deliveries
+// are appended to buf (see sim.Network for the buffer-ownership contract).
+func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 	// 1. Link arrivals from the previous cycle occupy their reserved
 	// VCs.
 	for _, a := range n.transit {
@@ -275,11 +356,10 @@ func (n *Network) Step() []sim.Delivery {
 		if !vc.empty() || !vc.reserved {
 			panic("electrical: arrival into non-reserved VC")
 		}
-		bs, deliver := n.branchesAt(a.pkt, a.node)
-		*vc = vcState{pkt: a.pkt, branches: bs, deliver: deliver, reserved: false}
+		n.fill(vc, a.pkt, a.node)
 		n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
 		n.emit(obs.KindBuffer, a.pkt.msgID, a.node, a.port)
-		if a.pkt.tree != nil && len(bs) > 1 {
+		if a.pkt.tree != nil && len(vc.branches) > 1 {
 			n.emit(obs.KindTreeFork, a.pkt.msgID, a.node, mesh.Local)
 		}
 	}
@@ -295,7 +375,7 @@ func (n *Network) Step() []sim.Delivery {
 				if vc.empty() || !vc.deliver || vc.age < 1 {
 					continue
 				}
-				deliveries = append(deliveries, sim.Delivery{MsgID: vc.pkt.msgID, Dst: mesh.NodeID(node)})
+				buf = append(buf, sim.Delivery{MsgID: vc.pkt.msgID, Dst: mesh.NodeID(node)})
 				n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ
 				n.emit(obs.KindEject, vc.pkt.msgID, mesh.NodeID(node), mesh.Local)
 				vc.deliver = false
@@ -317,12 +397,12 @@ func (n *Network) Step() []sim.Delivery {
 				continue
 			}
 			pkt := r.nic[0]
-			r.nic = r.nic[1:]
-			bs, deliver := n.branchesAt(pkt, mesh.NodeID(node))
-			*vc = vcState{pkt: pkt, branches: bs, deliver: deliver}
+			copy(r.nic, r.nic[1:])
+			r.nic = r.nic[:len(r.nic)-1]
+			n.fill(vc, pkt, mesh.NodeID(node))
 			n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
 			n.emit(obs.KindLaunch, pkt.msgID, mesh.NodeID(node), mesh.Local)
-			if pkt.tree != nil && len(bs) > 1 {
+			if pkt.tree != nil && len(vc.branches) > 1 {
 				n.emit(obs.KindTreeFork, pkt.msgID, mesh.NodeID(node), mesh.Local)
 			}
 			break
@@ -349,26 +429,29 @@ func (n *Network) Step() []sim.Delivery {
 	}
 	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
 	n.cycle++
-	return deliveries
+	return buf
 }
 
 // freeIfDone releases a VC whose packet has no pending work; the credit
-// returns to upstream VA one cycle later (wait-for-tail-credit).
+// returns to upstream VA one cycle later (wait-for-tail-credit). The VC's
+// reference to the packet drops, recycling it once no transit arrival
+// holds it either.
 func (n *Network) freeIfDone(vc *vcState) {
 	if vc.deliver || len(vc.branches) > 0 {
 		return
 	}
+	n.dropRef(vc.pkt)
 	vc.pkt = nil
 	vc.age = 0
 	vc.availAt = n.cycle + 1
 }
 
 // allocateVCs runs the per-output-port iSLIP VC allocators. Requests and
-// free downstream VCs are gathered up front so idle ports skip the matching
-// entirely.
+// free downstream VCs are gathered up front (into network scratch) so idle
+// ports skip the matching entirely.
 func (n *Network) allocateVCs() {
-	reqs := make([]bool, mesh.NumDirs*n.cfg.VCs)
-	free := make([]bool, n.cfg.VCs)
+	reqs := n.vcReqs
+	free := n.vcFree
 	for node := range n.routers {
 		r := &n.routers[node]
 		for out := 0; out < mesh.NumLinkDirs; out++ {
@@ -487,6 +570,7 @@ func (n *Network) allocateSwitch() {
 			if !ok {
 				panic("electrical: traversal off mesh edge")
 			}
+			vc.pkt.refs++ // the transit arrival is a new holder
 			n.transit = append(n.transit, arrival{
 				node: next, port: dir.Opposite(), vc: b.outVC, pkt: vc.pkt,
 			})

@@ -22,7 +22,7 @@ func stepUntilQuiescent(t *testing.T, n *Network, limit int) []sim.Delivery {
 	t.Helper()
 	var all []sim.Delivery
 	for i := 0; i < limit; i++ {
-		all = append(all, n.Step()...)
+		all = append(all, n.Step(nil)...)
 		if n.Quiescent() {
 			return all
 		}
@@ -73,7 +73,7 @@ func deliverCycle(t *testing.T, n *Network, src, dst mesh.NodeID) int {
 	t.Helper()
 	n.Inject(sim.Message{ID: 1, Src: src, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 	for i := 0; i < 200; i++ {
-		if ds := n.Step(); len(ds) > 0 {
+		if ds := n.Step(nil); len(ds) > 0 {
 			if ds[0].Dst != dst {
 				t.Fatalf("delivered to %d, want %d", ds[0].Dst, dst)
 			}
@@ -142,15 +142,32 @@ func TestTreeCacheReused(t *testing.T) {
 	for i := mesh.NodeID(1); i < 64; i++ {
 		dsts = append(dsts, i)
 	}
+	// Full broadcasts use the per-source cache, not the keyed map.
 	n.Inject(sim.Message{ID: 1, Src: 0, Dsts: dsts, Op: packet.OpReadReq})
 	stepUntilQuiescent(t, n, 2000)
-	if len(n.trees) != 1 {
-		t.Fatalf("tree cache has %d entries", len(n.trees))
+	first := n.bcast[0]
+	if first == nil {
+		t.Fatal("broadcast tree not cached for source 0")
+	}
+	if len(n.trees) != 0 {
+		t.Fatalf("full broadcast landed in the keyed cache (%d entries)", len(n.trees))
 	}
 	n.Inject(sim.Message{ID: 2, Src: 0, Dsts: dsts, Op: packet.OpReadReq})
 	stepUntilQuiescent(t, n, 2000)
+	if n.bcast[0] != first {
+		t.Error("repeat broadcast rebuilt the cached tree")
+	}
+	// Partial multicasts fall back to the keyed cache.
+	part := dsts[:5]
+	n.Inject(sim.Message{ID: 3, Src: 0, Dsts: part, Op: packet.OpReadReq})
+	stepUntilQuiescent(t, n, 2000)
 	if len(n.trees) != 1 {
-		t.Errorf("tree cache grew to %d entries on repeat broadcast", len(n.trees))
+		t.Fatalf("keyed cache has %d entries after partial multicast", len(n.trees))
+	}
+	n.Inject(sim.Message{ID: 4, Src: 0, Dsts: part, Op: packet.OpReadReq})
+	stepUntilQuiescent(t, n, 2000)
+	if len(n.trees) != 1 {
+		t.Errorf("keyed cache grew to %d entries on repeat multicast", len(n.trees))
 	}
 }
 
@@ -177,10 +194,10 @@ func TestExactOnceUnderLoad(t *testing.T) {
 				n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 			}
 		}
-		collect(n.Step())
+		collect(n.Step(nil))
 	}
 	for i := 0; i < 30000 && !n.Quiescent(); i++ {
-		collect(n.Step())
+		collect(n.Step(nil))
 	}
 	if !n.Quiescent() {
 		t.Fatal("network failed to drain")
@@ -278,7 +295,7 @@ func TestDeterminism(t *testing.T) {
 					n.Inject(sim.Message{ID: id, Src: node, Dsts: []mesh.NodeID{dst}, Op: packet.OpSynthetic})
 				}
 			}
-			n.Step()
+			n.Step(nil)
 		}
 		return n.Run().ElectricalEnergyPJ, n.Run().LinkTraversals
 	}
@@ -343,7 +360,7 @@ func TestInputSpeedupAllowsParallelOutputs(t *testing.T) {
 	// per cycle into separate VCs, but switch traversal overlaps.
 	arrivals := map[uint64]int64{}
 	for i := int64(0); i < 40 && len(arrivals) < 4; i++ {
-		for _, d := range n.Step() {
+		for _, d := range n.Step(nil) {
 			arrivals[d.MsgID] = i
 		}
 	}

@@ -26,7 +26,7 @@ func drain(t *testing.T, n *Network, limit int) []sim.Delivery {
 	t.Helper()
 	var all []sim.Delivery
 	for i := 0; i < limit; i++ {
-		all = append(all, n.Step()...)
+		all = append(all, n.Step(nil)...)
 		if n.Quiescent() {
 			return all
 		}

@@ -66,7 +66,7 @@ func Inspect(o InspectOpts) InspectResult {
 	}
 	net := o.Build(o.Seed)
 	res := InspectResult{Name: o.Name, Metrics: c.Metrics, Sampler: c.Sampler}
-	_, res.Traced = net.(obs.Traceable)
+	_, res.Traced = net.(sim.Traceable)
 	res.Run = sim.RunRate(net, sim.RateConfig{
 		Pattern: o.Pattern, Rate: o.Rate,
 		Warmup: o.Warmup, Measure: o.Measure,

@@ -23,8 +23,9 @@ type Allocator struct {
 	grantPtr        []int // per output, next input to favour
 	acceptPtr       []int // per input, next output to favour
 	// scratch, reused across calls
-	accepted []int // per input, matches this call
-	matchIn  []int // per output, matched input or -1
+	accepted []int   // per input, matches this call
+	matchIn  []int   // per output, matched input or -1
+	grants   [][]int // per input, outputs granting it this iteration
 }
 
 // New returns an allocator for the given port counts. quota is the input
@@ -36,20 +37,30 @@ func New(inputs, outputs, quota, iterations int) *Allocator {
 		panic(fmt.Sprintf("islip: invalid geometry in=%d out=%d quota=%d iter=%d",
 			inputs, outputs, quota, iterations))
 	}
-	return &Allocator{
+	a := &Allocator{
 		inputs: inputs, outputs: outputs,
 		quota: quota, iterations: iterations,
 		grantPtr:  make([]int, outputs),
 		acceptPtr: make([]int, inputs),
 		accepted:  make([]int, inputs),
 		matchIn:   make([]int, outputs),
+		grants:    make([][]int, inputs),
 	}
+	for i := range a.grants {
+		a.grants[i] = make([]int, 0, outputs)
+	}
+	return a
 }
 
 // Match computes a matching for the current request pattern: want(in, out)
 // reports whether input in requests output out. The result maps each output
 // to its matched input, or -1. No output is matched twice; no input is
 // matched more than its quota.
+//
+// The returned slice is the allocator's scratch buffer: it is valid until
+// the next Match call and must not be retained or mutated. Match performs
+// no allocation, which keeps the electrical router's steady-state cycle
+// loop allocation-free.
 func (a *Allocator) Match(want func(in, out int) bool) []int {
 	for i := range a.accepted {
 		a.accepted[i] = 0
@@ -60,7 +71,12 @@ func (a *Allocator) Match(want func(in, out int) bool) []int {
 	for iter := 0; iter < a.iterations; iter++ {
 		// Grant phase: each unmatched output picks the first
 		// requesting, non-saturated input at or after its pointer.
-		grants := make(map[int][]int, a.inputs) // input -> outputs granting it
+		// Each output grants at most one input, so the per-input
+		// grant lists are disjoint and the accept phase below is
+		// order-independent across inputs.
+		for i := range a.grants {
+			a.grants[i] = a.grants[i][:0]
+		}
 		granted := false
 		for o := 0; o < a.outputs; o++ {
 			if a.matchIn[o] >= 0 {
@@ -71,7 +87,7 @@ func (a *Allocator) Match(want func(in, out int) bool) []int {
 				if a.accepted[in] >= a.quota || !want(in, o) {
 					continue
 				}
-				grants[in] = append(grants[in], o)
+				a.grants[in] = append(a.grants[in], o)
 				granted = true
 				break
 			}
@@ -81,7 +97,11 @@ func (a *Allocator) Match(want func(in, out int) bool) []int {
 		}
 		// Accept phase: each input takes the granting outputs
 		// nearest its pointer, up to its remaining quota.
-		for in, outs := range grants {
+		for in := 0; in < a.inputs; in++ {
+			outs := a.grants[in]
+			if len(outs) == 0 {
+				continue
+			}
 			take := a.quota - a.accepted[in]
 			if take > len(outs) {
 				take = len(outs)
@@ -109,7 +129,5 @@ func (a *Allocator) Match(want func(in, out int) bool) []int {
 			}
 		}
 	}
-	out := make([]int, a.outputs)
-	copy(out, a.matchIn)
-	return out
+	return a.matchIn
 }

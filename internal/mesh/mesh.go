@@ -193,21 +193,51 @@ func (m *Mesh) HopDistance(a, b NodeID) int {
 // most one turn, which keeps Phastlane's per-router control to a single
 // 5-bit group and guarantees deadlock freedom in the electrical baseline.
 func (m *Mesh) Route(src, dst NodeID) []Dir {
+	return m.AppendRoute(nil, src, dst)
+}
+
+// AppendRoute appends the dimension-order route from src to dst to buf and
+// returns the extended slice — the allocation-free form of Route for hot
+// paths that reuse a scratch buffer across calls.
+func (m *Mesh) AppendRoute(buf []Dir, src, dst NodeID) []Dir {
 	cs, cd := m.Coord(src), m.Coord(dst)
-	route := make([]Dir, 0, abs(cs.X-cd.X)+abs(cs.Y-cd.Y))
 	for x := cs.X; x < cd.X; x++ {
-		route = append(route, East)
+		buf = append(buf, East)
 	}
 	for x := cs.X; x > cd.X; x-- {
-		route = append(route, West)
+		buf = append(buf, West)
 	}
 	for y := cs.Y; y < cd.Y; y++ {
-		route = append(route, North)
+		buf = append(buf, North)
 	}
 	for y := cs.Y; y > cd.Y; y-- {
-		route = append(route, South)
+		buf = append(buf, South)
 	}
-	return route
+	return buf
+}
+
+// RouteDir returns the i-th travel direction (0-based) of the
+// dimension-order route from src to dst without materialising the route
+// slice — the allocation-free form of Route(src, dst)[i] for hot paths
+// that only need one step (next-hop lookup, control rebuilds). i must be
+// in [0, HopDistance(src, dst)); out-of-range indices panic.
+func (m *Mesh) RouteDir(src, dst NodeID, i int) Dir {
+	cs, cd := m.Coord(src), m.Coord(dst)
+	dx, dy := cd.X-cs.X, cd.Y-cs.Y
+	if i >= 0 && i < abs(dx) {
+		if dx > 0 {
+			return East
+		}
+		return West
+	}
+	i -= abs(dx)
+	if i >= 0 && i < abs(dy) {
+		if dy > 0 {
+			return North
+		}
+		return South
+	}
+	panic(fmt.Sprintf("mesh: RouteDir index out of range for route %d->%d", src, dst))
 }
 
 // RouteNodes returns the nodes visited by the dimension-order route from src

@@ -372,22 +372,24 @@ func GroupForStep(travel, out mesh.Dir, multicast bool) Group {
 // 2.1.3 relaunch path). This extends the 8x8 packet format to larger
 // meshes; within an 8x8 mesh no route exceeds 14 groups.
 func BuildControl(m *mesh.Mesh, src, dst mesh.NodeID) (Control, mesh.Dir) {
-	dirs := m.Route(src, dst)
-	if len(dirs) == 0 {
+	total := m.HopDistance(src, dst)
+	if total == 0 {
 		panic(fmt.Sprintf("packet: BuildControl with src == dst == %d", src))
 	}
-	truncated := false
-	if len(dirs) > MaxGroups {
-		dirs = dirs[:MaxGroups]
-		truncated = true
+	// The route directions are read via mesh.RouteDir rather than a
+	// materialised m.Route slice: BuildControl sits on the relaunch hot
+	// path (every bypass re-segmentation) and must not allocate.
+	n, truncated := total, false
+	if n > MaxGroups {
+		n, truncated = MaxGroups, true
 	}
 	var c Control
-	launch := dirs[0]
-	for i := 1; i <= len(dirs); i++ {
-		travel := dirs[i-1]
+	launch := m.RouteDir(src, dst, 0)
+	for i := 1; i <= n; i++ {
+		travel := m.RouteDir(src, dst, i-1)
 		out := mesh.Local
-		if i < len(dirs) {
-			out = dirs[i]
+		if i < n {
+			out = m.RouteDir(src, dst, i)
 		}
 		c.Groups[i-1] = GroupForStep(travel, out, false)
 		c.Used = i
@@ -397,8 +399,8 @@ func BuildControl(m *mesh.Mesh, src, dst mesh.NodeID) (Control, mesh.Dir) {
 		// direction the journey continues in.
 		last := &c.Groups[c.Used-1]
 		last.Local = true
-		cont := m.Route(src, dst)[MaxGroups]
-		g := GroupForStep(dirs[len(dirs)-1], cont, false)
+		cont := m.RouteDir(src, dst, MaxGroups)
+		g := GroupForStep(m.RouteDir(src, dst, n-1), cont, false)
 		last.Straight, last.Left, last.Right = g.Straight, g.Left, g.Right
 	}
 	return c, launch

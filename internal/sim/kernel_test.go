@@ -1,0 +1,87 @@
+package sim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// TestInjectPanicNamesNodeAndFreeCount pins the NICFree-then-Inject
+// contract on every simulator: injecting into a full NIC panics, and the
+// message names the offending node, reports the free-entry count, and
+// points the caller at NICFree.
+func TestInjectPanicNamesNodeAndFreeCount(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  sim.Network
+	}{
+		{"optical", optical()},
+		{"electrical", baseline()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := tc.net
+			var id uint64
+			for net.NICFree(0) > 0 {
+				id++
+				net.Inject(sim.Message{ID: id, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
+			}
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("inject into full NIC did not panic")
+				}
+				msg := fmt.Sprint(r)
+				for _, want := range []string{"node 0", "0 free entries", "NICFree"} {
+					if !strings.Contains(msg, want) {
+						t.Errorf("panic %q does not mention %q", msg, want)
+					}
+				}
+			}()
+			id++
+			net.Inject(sim.Message{ID: id, Src: 0, Dsts: []mesh.NodeID{1}, Op: packet.OpSynthetic})
+		})
+	}
+}
+
+// stepZeroAlloc drives net under sustained uniform-random load past
+// warmup, then asserts that further inject+Step cycles allocate nothing:
+// the steady-state kernel must run entirely from pools, scratch slices,
+// and the caller-owned delivery buffer.
+func stepZeroAlloc(t *testing.T, net sim.Network, warmup int) {
+	t.Helper()
+	inj := traffic.NewInjector(traffic.UniformRandom(net.Nodes(), 1), net.Nodes(), 0.05, 2)
+	var id uint64
+	var buf []sim.Delivery
+	dsts := make([]mesh.NodeID, 1)
+	cycle := func() {
+		for _, in := range inj.Tick() {
+			if net.NICFree(in.Src) > 0 {
+				id++
+				dsts[0] = in.Dst
+				net.Inject(sim.Message{ID: id, Src: in.Src, Dsts: dsts, Op: packet.OpSynthetic})
+			}
+		}
+		buf = net.Step(buf[:0])
+	}
+	for i := 0; i < warmup; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Errorf("warmed-up inject+Step allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+func TestOpticalStepZeroAlloc(t *testing.T) {
+	stepZeroAlloc(t, core.New(core.DefaultConfig()), 500)
+}
+
+func TestElectricalStepZeroAlloc(t *testing.T) {
+	stepZeroAlloc(t, electrical.New(electrical.DefaultConfig()), 500)
+}

@@ -39,16 +39,49 @@ type Network interface {
 	// NICFree returns the free injection-queue entries at node n.
 	NICFree(n mesh.NodeID) int
 	// Inject places a message into its source NIC. It panics when the
-	// NIC is full; callers must check NICFree first.
+	// NIC is full; callers must check NICFree first. The network does
+	// not retain m.Dsts, so callers may reuse the slice across calls.
 	Inject(m Message)
-	// Step advances one clock cycle and returns this cycle's
-	// deliveries.
-	Step() []Delivery
+	// Step advances one clock cycle, appends this cycle's deliveries
+	// to buf, and returns the extended slice (the same contract as the
+	// built-in append).
+	//
+	// Buffer ownership: buf belongs to the caller. The network never
+	// retains it past the call and never reads buf[:len(buf)], so a
+	// harness can truncate and resubmit one buffer every cycle
+	// (buf = net.Step(buf[:0])) and the steady-state loop performs no
+	// allocation. Passing nil is valid and allocates as needed.
+	Step(buf []Delivery) []Delivery
 	// Quiescent reports whether no packet is queued or in flight.
 	Quiescent() bool
 	// Run returns the accumulating counters. Latency is recorded by
 	// the harness, not the network.
 	Run() *stats.Run
+}
+
+// Traceable is implemented by networks that can report router-level
+// events through the shared obs vocabulary. SetTracer installs a callback
+// invoked synchronously for every event; nil disables tracing (the
+// default, which must cost nothing). The harness and the figures layer
+// attach observability through this single interface — a network that
+// implements it gets tracing everywhere, with no per-simulator wiring.
+type Traceable interface {
+	SetTracer(func(obs.Event))
+}
+
+// attachObs installs c's tracer on net when both sides support it and
+// returns the sampler the harness must drive, if any. This is the one
+// type-assertion through which every observability attachment flows.
+func attachObs(net Network, c *obs.Collector) *obs.Sampler {
+	if c == nil {
+		return nil
+	}
+	if tr := c.Tracer(); tr != nil {
+		if t, ok := net.(Traceable); ok {
+			t.SetTracer(tr)
+		}
+	}
+	return c.Sampler
 }
 
 // Result summarises one harness run.
@@ -72,7 +105,9 @@ type Result struct {
 }
 
 // messageState tracks outstanding destinations and injection time for
-// latency accounting.
+// latency accounting. The harness keeps these in slices indexed by
+// message ID (IDs are dense and bounded in both run modes), not maps:
+// per-message map inserts used to dominate steady-state allocation.
 type messageState struct {
 	inject    int64
 	remaining int
@@ -110,16 +145,19 @@ func RunRate(net Network, cfg RateConfig) Result {
 	}
 	inj := traffic.NewInjector(cfg.Pattern, net.Nodes(), cfg.Rate, cfg.Seed)
 	res := Result{OfferedRate: cfg.Rate}
-	outstanding := make(map[uint64]*messageState)
+	// states[i] tracks message ID base+uint64(i); only messages injected
+	// during the measure phase are recorded. base == 0 means nothing has
+	// been recorded yet (IDs start at 1).
+	var states []messageState
+	var base uint64
+	var active int
 	var nextID uint64
 	var cycle int64
 	var offered, accepted int64
-	var sampler *obs.Sampler
-	if cfg.Obs != nil {
-		cfg.Obs.Attach(net)
-		sampler = cfg.Obs.Sampler
-	}
+	sampler := attachObs(net, cfg.Obs)
 	var cycleInjected int
+	var deliveries []Delivery // reused across cycles (Step buffer contract)
+	dsts := make([]mesh.NodeID, 1)
 
 	injectTick := func(record bool) {
 		cycleInjected = 0
@@ -133,28 +171,33 @@ func RunRate(net Network, cfg RateConfig) Result {
 			accepted++
 			cycleInjected++
 			nextID++
-			net.Inject(Message{ID: nextID, Src: in.Src, Dsts: []mesh.NodeID{in.Dst}, Op: packet.OpSynthetic})
+			dsts[0] = in.Dst
+			net.Inject(Message{ID: nextID, Src: in.Src, Dsts: dsts, Op: packet.OpSynthetic})
 			if record {
-				outstanding[nextID] = &messageState{inject: cycle, remaining: 1}
+				if base == 0 {
+					base = nextID
+				}
+				states = append(states, messageState{inject: cycle, remaining: 1})
+				active++
 			}
 		}
 	}
 	stepTick := func() {
-		deliveries := net.Step()
+		deliveries = net.Step(deliveries[:0])
 		var completed int
 		var latencySum float64
 		for _, d := range deliveries {
-			st, ok := outstanding[d.MsgID]
-			if !ok {
-				continue
+			if base == 0 || d.MsgID < base || d.MsgID-base >= uint64(len(states)) {
+				continue // not recorded (warmup traffic)
 			}
+			st := &states[d.MsgID-base]
 			st.remaining--
 			if st.remaining == 0 {
 				lat := float64(cycle - st.inject + 1)
 				res.Run.Latency.Add(lat)
 				completed++
 				latencySum += lat
-				delete(outstanding, d.MsgID)
+				active--
 			}
 		}
 		if sampler != nil {
@@ -173,7 +216,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 		stepTick()
 	}
 	// Drain: stop injecting, wait for measured packets to arrive.
-	for i := 0; i < cfg.DrainLimit && len(outstanding) > 0; i++ {
+	for i := 0; i < cfg.DrainLimit && active > 0; i++ {
 		stepTick()
 	}
 	res.Run.Cycles = int64(cfg.Measure)
@@ -181,7 +224,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 	res.Run.Injected = accepted
 	res.Run.Delivered = int64(res.Run.Latency.Count())
 	copyCounters(&res.Run, net.Run())
-	if len(outstanding) > 0 || (offered > 0 && float64(accepted) < 0.9*float64(offered)) {
+	if active > 0 || (offered > 0 && float64(accepted) < 0.9*float64(offered)) {
 		res.Saturated = true
 	}
 	return res
@@ -223,34 +266,41 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 	if limit == 0 {
 		limit = 20_000_000
 	}
-	allDsts := make([]mesh.NodeID, tr.Nodes)
-	for i := range allDsts {
-		allDsts[i] = mesh.NodeID(i)
-	}
-
 	// readyAt[id] is the cycle message id may inject; -1 = dependency
-	// not yet delivered.
+	// not yet delivered. dependents is the child adjacency as intrusive
+	// linked lists over the (dense, 1-based) message IDs — no per-ID
+	// slice or map entry. states[id] replaces the old per-message map:
+	// a message is outstanding while states[id].remaining > 0.
 	readyAt := make([]int64, len(tr.Messages)+1)
-	dependents := make(map[uint64][]uint64)
-	var pending []uint64 // ids not yet injected, in ID order
+	firstDep := make([]uint64, len(tr.Messages)+1)
+	nextDep := make([]uint64, len(tr.Messages)+1)
+	states := make([]messageState, len(tr.Messages)+1)
+	pending := make([]uint64, 0, len(tr.Messages)) // ids not yet injected, in ID order
 	for _, m := range tr.Messages {
 		pending = append(pending, m.ID)
 		if m.Dep == 0 {
 			readyAt[m.ID] = m.EarliestCycle
 		} else {
 			readyAt[m.ID] = -1
-			dependents[m.Dep] = append(dependents[m.Dep], m.ID)
 		}
 	}
-	outstanding := make(map[uint64]*messageState)
+	// Build the child lists back to front so each list reads in
+	// ascending ID order, matching the append order of the old map.
+	for i := len(tr.Messages) - 1; i >= 0; i-- {
+		m := tr.Messages[i]
+		if m.Dep != 0 {
+			nextDep[m.ID] = firstDep[m.Dep]
+			firstDep[m.Dep] = m.ID
+		}
+	}
 	res := Result{LatencyByOp: make(map[packet.Op]*stats.Latency)}
 	var cycle int64
 	remainingDeliveries := 0
-	var sampler *obs.Sampler
-	if cfg.Obs != nil {
-		cfg.Obs.Attach(net)
-		sampler = cfg.Obs.Sampler
-	}
+	sampler := attachObs(net, cfg.Obs)
+	var deliveries []Delivery // reused across cycles (Step buffer contract)
+	// dsts is the injection scratch: one entry for unicasts, everyone
+	// but the source for broadcasts. Inject does not retain it.
+	dsts := make([]mesh.NodeID, 0, tr.Nodes)
 
 	for len(pending) > 0 || remainingDeliveries > 0 {
 		if cycle >= limit {
@@ -268,28 +318,34 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 				rest = append(rest, id)
 				continue
 			}
-			dsts := []mesh.NodeID{m.Dst}
+			dsts = dsts[:0]
 			if m.IsBroadcast() {
-				dsts = broadcastDsts(allDsts, m.Src)
+				for n := 0; n < tr.Nodes; n++ {
+					if mesh.NodeID(n) != m.Src {
+						dsts = append(dsts, mesh.NodeID(n))
+					}
+				}
+			} else {
+				dsts = append(dsts, m.Dst)
 			}
 			net.Inject(Message{ID: id, Src: m.Src, Dsts: dsts, Op: m.Op})
 			// Latency is measured from readiness (dependency
 			// resolved, think time elapsed), so time spent
 			// stalled behind a full NIC counts against the
 			// network.
-			outstanding[id] = &messageState{inject: r, remaining: len(dsts)}
+			states[id] = messageState{inject: r, remaining: len(dsts)}
 			remainingDeliveries += len(dsts)
 			res.Run.Injected++
 			cycleInjected++
 		}
 		pending = rest
 
-		deliveries := net.Step()
+		deliveries = net.Step(deliveries[:0])
 		var completed int
 		var latencySum float64
 		for _, d := range deliveries {
-			st, ok := outstanding[d.MsgID]
-			if !ok {
+			st := &states[d.MsgID]
+			if st.remaining == 0 {
 				continue
 			}
 			st.remaining--
@@ -303,7 +359,6 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			latencySum += lat
 			res.Run.Delivered++
 			res.Makespan = cycle + 1
-			delete(outstanding, d.MsgID)
 			m := tr.Messages[d.MsgID-1]
 			ol, ok := res.LatencyByOp[m.Op]
 			if !ok {
@@ -311,7 +366,7 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 				res.LatencyByOp[m.Op] = ol
 			}
 			ol.Add(lat)
-			for _, dep := range dependents[d.MsgID] {
+			for dep := firstDep[d.MsgID]; dep != 0; dep = nextDep[dep] {
 				think := tr.Messages[dep-1].Think
 				at := cycle + 1 + think
 				if e := tr.Messages[dep-1].EarliestCycle; e > at {
@@ -328,17 +383,6 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 	res.Run.Cycles = cycle
 	copyCounters(&res.Run, net.Run())
 	return res, nil
-}
-
-// broadcastDsts returns all nodes except src.
-func broadcastDsts(all []mesh.NodeID, src mesh.NodeID) []mesh.NodeID {
-	out := make([]mesh.NodeID, 0, len(all)-1)
-	for _, n := range all {
-		if n != src {
-			out = append(out, n)
-		}
-	}
-	return out
 }
 
 // SweepPoint is one (rate, latency) sample of a saturation sweep.

@@ -143,6 +143,7 @@ type Injector struct {
 	nodes   int
 	rate    float64
 	rng     *rand.Rand
+	buf     []Injection // reused across Tick calls
 }
 
 // NewInjector builds an injector. rate is packets per node per cycle in
@@ -161,8 +162,12 @@ type Injection struct {
 
 // Tick returns the injections for one cycle. Self-directed permutation
 // slots (e.g. transpose's diagonal) are skipped, as is conventional.
+//
+// The returned slice is the injector's scratch buffer: it is valid until
+// the next Tick call and must not be retained. Steady-state ticks do not
+// allocate.
 func (in *Injector) Tick() []Injection {
-	var out []Injection
+	out := in.buf[:0]
 	for n := 0; n < in.nodes; n++ {
 		if in.rng.Float64() >= in.rate {
 			continue
@@ -174,5 +179,6 @@ func (in *Injector) Tick() []Injection {
 		}
 		out = append(out, Injection{Src: src, Dst: dst})
 	}
+	in.buf = out
 	return out
 }
