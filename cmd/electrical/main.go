@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"phastlane/internal/electrical"
+	"phastlane/internal/fault"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
 	"phastlane/internal/trace"
@@ -27,11 +29,24 @@ func main() {
 	delay := flag.Int("delay", 3, "per-hop router delay in cycles (2 or 3)")
 	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
 	seed := flag.Int64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
+	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
 	flag.Parse()
 
 	cfg := electrical.DefaultConfig()
 	cfg.RouterDelay = *delay
 	cfg.Seed = *seed
+	cfg.LossTimeout = *lossTimeout
+	if *faultSpec != "" {
+		plan, err := parseFaultArg(*faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Faults = plan
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
 	net := electrical.New(cfg)
 
 	var res sim.Result
@@ -64,6 +79,9 @@ func main() {
 		res.Run.Delivered, res.Run.Latency.Mean(), res.Run.Latency.Percentile(99))
 	fmt.Printf("throughput %.4f pkts/node/cycle; network power %.2f W\n",
 		res.Run.ThroughputPerNode(net.Nodes()), res.Run.PowerW(photonic.DefaultClockGHz))
+	if res.Lost > 0 {
+		fmt.Printf("lost %d; unresolved %d\n", res.Lost, res.Unresolved)
+	}
 	if res.Saturated {
 		fmt.Println("NOTE: the network saturated at this load")
 	}
@@ -84,6 +102,24 @@ func patternByName(name string) (traffic.Pattern, error) {
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
 	}
+}
+
+// parseFaultArg turns the -faults argument into a plan: @path loads a
+// file, a leading '{' parses as JSON, anything else as the compact spec
+// string.
+func parseFaultArg(arg string) (*fault.Plan, error) {
+	text := arg
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		text = string(data)
+	}
+	if strings.HasPrefix(strings.TrimSpace(text), "{") {
+		return fault.ParseJSON([]byte(text))
+	}
+	return fault.ParseSpec(strings.TrimSpace(text))
 }
 
 func fail(err error) {

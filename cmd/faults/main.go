@@ -1,0 +1,169 @@
+// Command faults studies how the two networks degrade as hardware dies.
+// By default it sweeps randomly-placed fault plans along three axes —
+// dead links, stuck routers, and optical control corruption — at a fixed
+// offered load, and reports delivered throughput, latency and lost
+// traffic for each fault level (the degradation curves). With -faults it
+// instead runs one user-specified fault scenario on both simulators and
+// reports the outcome.
+//
+// The JSON report contains no timestamps or wall-clock data: two runs
+// with the same flags produce byte-identical output.
+//
+// Usage:
+//
+//	faults                                  # full degradation sweep
+//	faults -csv                             # sweep as CSV
+//	faults -json FAULTS_degradation.json    # sweep + JSON report
+//	faults -faults 'seed=3;dead-link@9:E;stuck@27' -rate 0.1
+//	faults -faults @plan.json               # JSON fault plan from a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/fault"
+	"phastlane/internal/figures"
+	"phastlane/internal/sim"
+	"phastlane/internal/stats"
+	"phastlane/internal/traffic"
+)
+
+// report is the JSON document for the sweep mode. It carries only the
+// sweep inputs and measured outputs — nothing host- or time-dependent —
+// so repeated runs are byte-identical.
+type report struct {
+	Rate    float64                    `json:"offered_rate"`
+	Warmup  int                        `json:"warmup_cycles"`
+	Measure int                        `json:"measure_cycles"`
+	Trials  int                        `json:"trials_per_point"`
+	Seed    int64                      `json:"seed"`
+	Points  []figures.DegradationPoint `json:"points"`
+}
+
+func main() {
+	spec := flag.String("faults", "", "run one fault scenario: a fault spec, inline JSON, or @file")
+	rate := flag.Float64("rate", 0.10, "offered load (packets/node/cycle)")
+	warmup := flag.Int("warmup", 300, "warmup cycles per point")
+	measure := flag.Int("measure", 1500, "measurement cycles per point")
+	trials := flag.Int("trials", 2, "fault placements averaged per sweep point")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per core)")
+	csv := flag.Bool("csv", false, "emit the sweep as CSV")
+	jsonPath := flag.String("json", "", "also write the sweep report to this JSON file")
+	plots := flag.Bool("plots", false, "render ASCII degradation plots")
+	flag.Parse()
+
+	if *spec != "" {
+		runScenario(*spec, *rate, *warmup, *measure, *seed)
+		return
+	}
+
+	pts := figures.Degradation(figures.DegradationOpts{
+		Rate: *rate, Warmup: *warmup, Measure: *measure,
+		Trials: *trials, Seed: *seed, Workers: *workers,
+	})
+	table := figures.DegradationTable(pts)
+	if *csv {
+		fmt.Print(table.CSV())
+	} else {
+		fmt.Println(table)
+	}
+	if *plots {
+		for _, axis := range []string{"dead-links", "stuck-routers", "corruption"} {
+			fmt.Println(figures.DegradationPlot(axis, pts))
+		}
+	}
+	if *jsonPath != "" {
+		doc, err := json.MarshalIndent(report{
+			Rate: *rate, Warmup: *warmup, Measure: *measure,
+			Trials: *trials, Seed: *seed, Points: pts,
+		}, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(doc, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *jsonPath, len(pts))
+	}
+}
+
+// runScenario drives one fault plan through both simulators at the given
+// load and reports delivery outcomes side by side.
+func runScenario(arg string, rate float64, warmup, measure int, seed int64) {
+	plan, err := parseFaultArg(arg)
+	if err != nil {
+		fail(err)
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Fault scenario %q at offered %.3f", plan.Spec(), rate),
+		Columns: []string{"config", "delivered", "throughput", "latency", "lost", "unreachable", "corrupt", "saturated"},
+	}
+	for _, name := range []string{"Optical4", "Electrical3"} {
+		var net sim.Network
+		switch name {
+		case "Optical4":
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Faults = plan
+			cfg.RetryLimit = 16
+			cfg.LossTimeout = 4000
+			if err := cfg.Validate(); err != nil {
+				fail(err)
+			}
+			net = core.New(cfg)
+		case "Electrical3":
+			cfg := electrical.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Faults = plan
+			cfg.LossTimeout = 4000
+			if err := cfg.Validate(); err != nil {
+				fail(err)
+			}
+			net = electrical.New(cfg)
+		}
+		res := sim.RunRate(net, sim.RateConfig{
+			Pattern: traffic.UniformRandom(64, seed+7),
+			Rate:    rate, Warmup: warmup, Measure: measure, Seed: seed,
+		})
+		sat := ""
+		if res.Saturated {
+			sat = "sat"
+		}
+		t.AddRow(name, fmt.Sprint(res.Run.Delivered),
+			stats.F(res.Run.ThroughputPerNode(net.Nodes())),
+			stats.F(res.Run.Latency.Mean()),
+			fmt.Sprint(res.Lost), fmt.Sprint(res.Run.Unreachable),
+			fmt.Sprint(res.Run.Corrupt), sat)
+	}
+	fmt.Println(t)
+}
+
+// parseFaultArg turns the -faults argument into a plan: @path loads a
+// file, a leading '{' parses as JSON, anything else as the compact spec
+// string.
+func parseFaultArg(arg string) (*fault.Plan, error) {
+	text := arg
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		text = string(data)
+	}
+	if strings.HasPrefix(strings.TrimSpace(text), "{") {
+		return fault.ParseJSON([]byte(text))
+	}
+	return fault.ParseSpec(strings.TrimSpace(text))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "faults:", err)
+	os.Exit(1)
+}

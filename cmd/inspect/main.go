@@ -70,6 +70,9 @@ func main() {
 			cfg.MaxHops = *hops
 			cfg.BufferEntries = *buffers
 			cfg.Seed = seed
+			if err := cfg.Validate(); err != nil {
+				fail(err)
+			}
 			return core.New(cfg)
 		})
 	}
@@ -79,6 +82,9 @@ func main() {
 			cfg.Width, cfg.Height = w, h
 			cfg.RouterDelay = *delay
 			cfg.Seed = seed
+			if err := cfg.Validate(); err != nil {
+				fail(err)
+			}
 			return electrical.New(cfg)
 		})
 	}

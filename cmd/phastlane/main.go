@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"phastlane/internal/core"
+	"phastlane/internal/fault"
 	"phastlane/internal/packet"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
@@ -31,12 +33,27 @@ func main() {
 	buffers := flag.Int("buffers", 10, "electrical buffer entries per port (-1 = infinite)")
 	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
 	seed := flag.Int64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
+	retryLimit := flag.Int("retry-limit", 0, "drop-retry budget per packet (0 = unlimited)")
+	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.MaxHops = *hops
 	cfg.BufferEntries = *buffers
 	cfg.Seed = *seed
+	cfg.RetryLimit = *retryLimit
+	cfg.LossTimeout = *lossTimeout
+	if *faultSpec != "" {
+		plan, err := parseFaultArg(*faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Faults = plan
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
 	net := core.New(cfg)
 
 	var res sim.Result
@@ -95,6 +112,10 @@ func report(res sim.Result, nodes int) {
 		res.Run.Delivered, res.Run.Latency.Mean(), res.Run.Latency.Percentile(99), res.Run.Latency.Max())
 	fmt.Printf("throughput %.4f pkts/node/cycle; drops %d; retries %d; buffered %d\n",
 		res.Run.ThroughputPerNode(nodes), res.Run.Drops, res.Run.Retries, res.Run.BufferedPackets)
+	if res.Lost > 0 || res.Run.Unreachable > 0 || res.Run.Corrupt > 0 {
+		fmt.Printf("lost %d; unreachable probes %d; corrupted hops %d; unresolved %d\n",
+			res.Lost, res.Run.Unreachable, res.Run.Corrupt, res.Unresolved)
+	}
 	fmt.Printf("network power %.2f W (optical %.2f W, electrical %.2f W, leakage %.2f W)\n",
 		res.Run.PowerW(photonic.DefaultClockGHz),
 		powerShare(res, res.Run.OpticalEnergyPJ),
@@ -111,6 +132,24 @@ func powerShare(res sim.Result, pj float64) float64 {
 		return 0
 	}
 	return res.Run.PowerW(photonic.DefaultClockGHz) * pj / total
+}
+
+// parseFaultArg turns the -faults argument into a plan: @path loads a
+// file, a leading '{' parses as JSON, anything else as the compact spec
+// string.
+func parseFaultArg(arg string) (*fault.Plan, error) {
+	text := arg
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		text = string(data)
+	}
+	if strings.HasPrefix(strings.TrimSpace(text), "{") {
+		return fault.ParseJSON([]byte(text))
+	}
+	return fault.ParseSpec(strings.TrimSpace(text))
 }
 
 func fail(err error) {

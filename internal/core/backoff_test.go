@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBackoffCap pins the randomised exponential backoff contract: the
+// delay is uniform over [0, min(BackoffBase<<(retries-1), BackoffMax)],
+// and the doubling clamps to BackoffMax before it can overflow — even
+// with a huge configured maximum and an absurd retry count.
+func TestBackoffCap(t *testing.T) {
+	n := mustNew(t, func(c *Config) {
+		c.BackoffBase = 1
+		c.BackoffMax = math.MaxInt - 1 // would overflow naive doubling
+	})
+	for _, retries := range []int{1, 2, 10, 63, 64, 65, 500} {
+		d := n.backoff(retries)
+		if d < 0 {
+			t.Fatalf("backoff(%d) = %d: doubling overflowed", retries, d)
+		}
+	}
+
+	// With a modest cap the window must clamp exactly at BackoffMax.
+	n = mustNew(t, func(c *Config) {
+		c.BackoffBase = 1
+		c.BackoffMax = 7 // not a power-of-two multiple of the base
+	})
+	for i := 0; i < 2000; i++ {
+		if d := n.backoff(50); d < 0 || d > 7 {
+			t.Fatalf("backoff(50) = %d outside [0,7]", d)
+		}
+	}
+}
+
+// TestBackoffDeterminism is the regression test for the overflow fix: the
+// clamped doubling must draw from the same windows as the original code
+// for every non-overflowing configuration, so seeded runs stay
+// bit-identical. Two networks with the same seed must produce the same
+// delay sequence, and each delay must fit the expected window.
+func TestBackoffDeterminism(t *testing.T) {
+	mk := func() *Network {
+		return mustNew(t, func(c *Config) { c.Seed = 42 })
+	}
+	a, b := mk(), mk()
+	cfg := DefaultConfig()
+	for step := 0; step < 400; step++ {
+		retries := step%9 + 1
+		da, db := a.backoff(retries), b.backoff(retries)
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %d vs %d", step, da, db)
+		}
+		window := cfg.BackoffBase << (retries - 1)
+		if window > cfg.BackoffMax || window <= 0 {
+			window = cfg.BackoffMax
+		}
+		if da < 0 || da > int64(window) {
+			t.Fatalf("backoff(%d) = %d outside [0,%d]", retries, da, window)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"phastlane/internal/fault"
 	"phastlane/internal/packet"
 	"phastlane/internal/photonic"
 	"phastlane/internal/power"
@@ -85,6 +86,21 @@ type Config struct {
 	// broadcasts as 63 unicast packets - the ablation showing why
 	// Section 2.1.4's multicast support matters.
 	UnicastBroadcast bool
+	// Faults, when non-nil and non-empty, arms the deterministic
+	// fault-injection plan: dead links, stuck routers, buffer-slot
+	// failures and control-bit corruption (package fault). Relaunches
+	// then source-route around unusable hardware. Nil (or an empty
+	// plan) costs nothing and leaves behaviour bit-identical.
+	Faults *fault.Plan
+	// RetryLimit caps drop-triggered retransmissions per packet; a
+	// packet dropped past the limit is abandoned and reported lost
+	// through the delivery layer. 0 retries forever (the paper's
+	// protocol, which assumes perfect hardware).
+	RetryLimit int
+	// LossTimeout, when positive, is the delivery watchdog's loss
+	// detector: a packet still undelivered that many cycles after
+	// injection is abandoned and reported lost. 0 disables timeouts.
+	LossTimeout int64
 	// Seed drives the arbitration jitter and backoff randomness.
 	Seed int64
 }
@@ -140,6 +156,15 @@ func (c Config) Validate() error {
 	}
 	if c.Arbiter < 0 || c.Arbiter >= numArbiters {
 		return fmt.Errorf("core: unknown arbiter %d", c.Arbiter)
+	}
+	if c.RetryLimit < 0 {
+		return fmt.Errorf("core: negative retry limit %d", c.RetryLimit)
+	}
+	if c.LossTimeout < 0 {
+		return fmt.Errorf("core: negative loss timeout %d", c.LossTimeout)
+	}
+	if err := c.Faults.Validate(c.Width, c.Height); err != nil {
+		return err
 	}
 	if diameter := c.Width + c.Height - 2; diameter > packet.MaxGroups && !c.Bypass {
 		return fmt.Errorf("core: %dx%d mesh (diameter %d) exceeds the %d-group control format; meshes beyond 8x8 require Bypass so interim nodes rebuild truncated routes",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"phastlane/internal/fault"
 	"phastlane/internal/mesh"
 	"phastlane/internal/packet"
 	"phastlane/internal/photonic"
@@ -34,6 +35,8 @@ type parcel struct {
 	remBuf    []mesh.NodeID
 	multicast bool
 	retries   int
+	// born is the injection cycle, the delivery watchdog's age base.
+	born int64
 	// eligibleAt gates relaunch (buffer turnaround, drop backoff);
 	// enqueuedAt records when the parcel entered its current queue
 	// (for the oldest-first arbiter).
@@ -136,6 +139,19 @@ type Network struct {
 	// tracer receives router events when set (SetTracer).
 	tracer func(Event)
 
+	// Fault injection and the delivery layer (fault.go). faults is nil
+	// unless a plan is armed: every hot-path consultation hides behind
+	// that one nil check. watchEvery > 0 arms the delivery watchdog
+	// (fault plan, or LossTimeout without one).
+	faults      *fault.Injector
+	frouter     *mesh.FaultRouter
+	routeUsable mesh.LinkUsable
+	frDirs      []mesh.Dir
+	lossHandler func(sim.Loss)
+	watchEvery  int64
+	nextScan    int64
+	starveAfter int64
+
 	// Free lists and per-cycle scratch, reused across Step calls so the
 	// steady-state simulation loop performs no allocation. parcelFree
 	// and flightFree pool the two hot-path object kinds; flights is the
@@ -187,6 +203,7 @@ func New(cfg Config) *Network {
 			}
 		}
 	}
+	n.faultInit()
 	return n
 }
 
@@ -230,9 +247,21 @@ func (n *Network) Run() *stats.Run { return &n.run }
 // Cycle returns the current simulation time.
 func (n *Network) Cycle() int64 { return n.cycle }
 
-// NICFree implements sim.Network.
+// NICFree implements sim.Network. Under an armed fault plan a stuck
+// router's NIC accepts nothing and failed injection-queue slots reduce
+// the reported capacity.
 func (n *Network) NICFree(node mesh.NodeID) int {
-	return n.routers[node].queues[mesh.Local].free()
+	free := n.routers[node].queues[mesh.Local].free()
+	if n.faults != nil {
+		if n.faults.NodeStuck(n.cycle, node) {
+			return 0
+		}
+		free -= n.faults.LostSlots(n.cycle, node, mesh.Local)
+		if free < 0 {
+			free = 0
+		}
+	}
+	return free
 }
 
 // Quiescent implements sim.Network.
@@ -246,8 +275,8 @@ func (n *Network) Quiescent() bool { return n.live == 0 }
 // message's Dsts slice is not retained.
 func (n *Network) Inject(m sim.Message) {
 	nic := &n.routers[m.Src].queues[mesh.Local]
-	if nic.free() <= 0 {
-		panic(fmt.Sprintf("core: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, nic.free()))
+	if free := n.NICFree(m.Src); free <= 0 {
+		panic(fmt.Sprintf("core: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
 	}
 	n.run.Injected++
 	switch {
@@ -273,6 +302,7 @@ func (n *Network) Inject(m sim.Message) {
 			p.remaining = p.remBuf
 			p.dst = p.remaining[len(p.remaining)-1]
 			p.multicast = true
+			p.born = n.cycle
 			p.eligibleAt, p.enqueuedAt = n.cycle, n.cycle
 			nic.items = append(nic.items, p)
 			n.live++
@@ -291,6 +321,7 @@ func (n *Network) enqueueUnicast(nic *pqueue, m sim.Message, dst mesh.NodeID) {
 	p.msgID, p.op, p.src, p.dst = m.ID, m.Op, m.Src, dst
 	p.owner = m.Src
 	p.control, p.launch = ctl, launch
+	p.born = n.cycle
 	p.eligibleAt, p.enqueuedAt = n.cycle, n.cycle
 	nic.items = append(nic.items, p)
 	n.live++
@@ -301,6 +332,9 @@ func (n *Network) enqueueUnicast(nic *pqueue, m sim.Message, dst mesh.NodeID) {
 // and account leakage. Deliveries are appended to buf per the sim.Network
 // buffer-ownership contract; the warmed-up loop performs no allocation.
 func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	if n.watchEvery > 0 {
+		n.faultStep()
+	}
 	n.resolveDropWindow()
 	flights := n.launch()
 	buf = n.walk(flights, buf)
@@ -331,6 +365,12 @@ func (n *Network) resolveDropWindow() {
 			p := rec.p
 			p.retries++
 			n.run.Retries++
+			if n.cfg.RetryLimit > 0 && p.retries > n.cfg.RetryLimit {
+				// Retry budget exhausted: the delivery layer
+				// abandons the parcel instead of requeueing it.
+				n.loseParcel(p, sim.LossRetryBudget)
+				continue
+			}
 			if !n.cfg.Bypass {
 				// Restore the pre-launch route; with bypass
 				// the relaunch rebuilds it anyway.
@@ -347,10 +387,17 @@ func (n *Network) resolveDropWindow() {
 	n.pending = n.pending[:0]
 }
 
-// backoff returns a randomised exponential delay for the given retry count.
+// backoff returns a randomised exponential delay for the given retry
+// count: uniform over [0, min(BackoffBase<<(retries-1), BackoffMax)].
+// The doubling clamps to BackoffMax before it can overflow, so the
+// window is well-defined for any retry count and any configured maximum.
 func (n *Network) backoff(retries int) int64 {
 	window := n.cfg.BackoffBase
 	for i := 1; i < retries && window < n.cfg.BackoffMax; i++ {
+		if window > n.cfg.BackoffMax/2 {
+			window = n.cfg.BackoffMax
+			break
+		}
 		window *= 2
 	}
 	if window > n.cfg.BackoffMax {
@@ -368,6 +415,9 @@ func (n *Network) backoff(retries int) int64 {
 func (n *Network) launch() []*flight {
 	flights := n.flights[:0]
 	for node := range n.routers {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+			continue
+		}
 		r := &n.routers[node]
 		var granted [mesh.NumLinkDirs]bool
 		grants := 0
@@ -461,7 +511,13 @@ func (n *Network) launchCandidate(q *pqueue, granted []bool) *parcel {
 		if p.eligibleAt > n.cycle || p.skipAt == n.cycle {
 			continue
 		}
-		if n.cfg.Bypass {
+		if n.faults != nil {
+			// Route around the currently-dead hardware; a parcel
+			// with no usable route stays queued with a probe delay.
+			if !n.faultPrepare(p) {
+				continue
+			}
+		} else if n.cfg.Bypass {
 			n.resegment(p)
 		}
 		if p.launch == mesh.Local {

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"phastlane/internal/fault"
 	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
 	"phastlane/internal/packet"
 	"phastlane/internal/sim"
 )
@@ -49,6 +51,24 @@ func (n *Network) walk(flights []*flight, buf []sim.Delivery) []sim.Delivery {
 			g := f.control.Shift()
 			if g.Zero() {
 				panic(fmt.Sprintf("core: flight of msg %d ran out of control groups at %d", f.p.msgID, f.at))
+			}
+			if n.faults != nil {
+				if eff := n.faults.Corrupt(n.cycle, f.at, f.p.msgID); eff != fault.EffectNone {
+					// Resonator drift garbled the control group at
+					// this router. A detected error drops the
+					// packet; a misroute captures it here so the
+					// owner re-routes. Sweeps (whose taps pin the
+					// path) and packets already at their final
+					// stop can only drop.
+					n.run.Corrupt++
+					n.emit(obs.KindCorrupt, f.p.msgID, f.at, f.travel)
+					if eff == fault.EffectMisroute && !f.p.multicast && f.at != f.p.dst {
+						n.receiveOrDrop(f, f.travel)
+					} else {
+						n.dropFlight(f)
+					}
+					continue
+				}
 			}
 			// Multicast tap: a portion of the packet's power is
 			// received for the local node while the packet
@@ -102,7 +122,8 @@ func (n *Network) walk(flights []*flight, buf []sim.Delivery) []sim.Delivery {
 		}
 		active = active[:0]
 		for _, f := range contenders {
-			if n.claimed(f.at, f.next) {
+			if n.claimed(f.at, f.next) ||
+				(n.faults != nil && n.faults.LinkDown(n.cycle, f.at, f.next)) {
 				n.receiveOrDrop(f, f.next)
 				continue
 			}
@@ -145,7 +166,13 @@ func (n *Network) finish(f *flight) {
 func (n *Network) receiveOrDrop(f *flight, relaunch mesh.Dir) {
 	port := f.travel.Opposite()
 	q := &n.routers[f.at].queues[port]
-	if q.free() > 0 {
+	free := q.free()
+	if n.faults != nil {
+		if free -= n.faults.LostSlots(n.cycle, f.at, port); free < 0 {
+			free = 0
+		}
+	}
+	if free > 0 {
 		p := f.p
 		p.owner = f.at
 		p.control = f.control
@@ -159,10 +186,15 @@ func (n *Network) receiveOrDrop(f *flight, relaunch mesh.Dir) {
 		n.emit(EventBuffer, p.msgID, f.at, relaunch)
 		return
 	}
-	// Buffer full: drop. The router transmits Packet Dropped plus its
-	// node ID on the return path; the owner requeues with backoff at
-	// the start of the next cycle (resolveDropWindow). Multicast
-	// parcels whose deliveries all completed need no retransmission.
+	n.dropFlight(f)
+}
+
+// dropFlight drops a flight's packet at its current router. The router
+// transmits Packet Dropped plus its node ID on the return path; the owner
+// requeues with backoff at the start of the next cycle
+// (resolveDropWindow). Multicast parcels whose deliveries all completed
+// need no retransmission.
+func (n *Network) dropFlight(f *flight) {
 	n.run.Drops++
 	n.run.ElectricalEnergyPJ += n.energy.DropNoticePJ
 	n.emit(EventDrop, f.p.msgID, f.at, f.travel)

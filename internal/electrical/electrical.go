@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"phastlane/internal/fault"
 	"phastlane/internal/islip"
 	"phastlane/internal/mesh"
 	"phastlane/internal/obs"
@@ -38,7 +39,19 @@ type Config struct {
 	Iterations int
 	// NICEntries is the injection queue capacity (Table 2: 50).
 	NICEntries int
-	Seed       int64
+	// Faults, when non-nil and non-empty, arms the shared deterministic
+	// fault-injection plan (package fault): dead links, stuck routers and
+	// failed VC/NIC slots. Unicast packets route around dead hardware;
+	// multicast tree branches stall on it (VCTM trees are pinned).
+	// Control corruption does not apply to the electrical baseline. Nil
+	// (or an empty plan) costs nothing.
+	Faults *fault.Plan
+	// LossTimeout, when positive, arms the delivery watchdog: a packet
+	// still buffered that many cycles after injection is abandoned and
+	// reported lost. 0 disables timeouts; the baseline's credit-based
+	// flow control never drops packets on its own.
+	LossTimeout int64
+	Seed        int64
 }
 
 // DefaultConfig returns the Table 2 baseline.
@@ -69,6 +82,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("electrical: bad speedup/iterations/NIC (%d/%d/%d)",
 			c.InputSpeedup, c.Iterations, c.NICEntries)
 	}
+	if c.LossTimeout < 0 {
+		return fmt.Errorf("electrical: negative loss timeout %d", c.LossTimeout)
+	}
+	if err := c.Faults.Validate(c.Width, c.Height); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -80,6 +99,8 @@ type epacket struct {
 	msgID uint64
 	dst   mesh.NodeID // unicast destination; ignored when tree != nil
 	tree  *vctm.Tree
+	// born is the injection cycle, the delivery watchdog's age base.
+	born int64
 	// refs counts live holders: the NIC entry or VC slot owning the
 	// packet plus every in-transit link arrival.
 	refs int
@@ -143,8 +164,20 @@ type Network struct {
 	vcFree  []bool
 	// tracer receives router events when set (SetTracer).
 	tracer func(obs.Event)
-	run    stats.Run
-	cycle  int64
+
+	// Fault injection and the delivery watchdog (fault.go). faults is
+	// nil unless a plan is armed; watchEvery > 0 arms the watchdog.
+	faults      *fault.Injector
+	frouter     *mesh.FaultRouter
+	routeUsable mesh.LinkUsable
+	frDirs      []mesh.Dir
+	lossHandler func(sim.Loss)
+	watchEvery  int64
+	nextScan    int64
+	starveAfter int64
+
+	run   stats.Run
+	cycle int64
 }
 
 var (
@@ -195,6 +228,7 @@ func New(cfg Config) *Network {
 		}
 		r.sa = islip.New(mesh.NumDirs, mesh.NumLinkDirs, cfg.InputSpeedup, cfg.Iterations)
 	}
+	n.faultInit()
 	return n
 }
 
@@ -207,9 +241,16 @@ func (n *Network) Nodes() int { return n.m.Nodes() }
 // Run implements sim.Network.
 func (n *Network) Run() *stats.Run { return &n.run }
 
-// NICFree implements sim.Network.
+// NICFree implements sim.Network. A stuck router's NIC accepts nothing;
+// failed injection-queue slots reduce the reported capacity.
 func (n *Network) NICFree(node mesh.NodeID) int {
 	f := n.cfg.NICEntries - len(n.routers[node].nic)
+	if n.faults != nil {
+		if n.faults.NodeStuck(n.cycle, node) {
+			return 0
+		}
+		f -= n.faults.LostSlots(n.cycle, node, mesh.Local)
+	}
 	if f < 0 {
 		return 0
 	}
@@ -295,6 +336,7 @@ func (n *Network) Inject(m sim.Message) {
 	n.run.Injected++
 	p := n.getPacket()
 	p.msgID = m.ID
+	p.born = n.cycle
 	p.refs = 1
 	switch {
 	case len(m.Dsts) == 1:
@@ -334,9 +376,12 @@ func (n *Network) fill(vc *vcState, p *epacket, at mesh.NodeID) {
 		deliver = p.tree.Deliver(at)
 	} else if at == p.dst {
 		deliver = true
-	} else {
-		bs = append(bs, branch{dir: n.m.RouteDir(at, p.dst, 0), outVC: -1})
+	} else if d, ok := n.nextDir(at, p.dst); ok {
+		bs = append(bs, branch{dir: d, outVC: -1})
 	}
+	// An unreachable unicast destination leaves the VC with no work;
+	// the fill call-sites reap it through the loss path when a plan is
+	// armed (reapStranded).
 	vc.pkt = p
 	vc.age = 0
 	vc.deliver = deliver
@@ -349,6 +394,9 @@ func (n *Network) fill(vc *vcState, p *epacket, at mesh.NodeID) {
 // allocation then switch allocation, launch winners, age VCs. Deliveries
 // are appended to buf (see sim.Network for the buffer-ownership contract).
 func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	if n.watchEvery > 0 {
+		n.faultStep()
+	}
 	// 1. Link arrivals from the previous cycle occupy their reserved
 	// VCs.
 	for _, a := range n.transit {
@@ -362,12 +410,18 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 		if a.pkt.tree != nil && len(vc.branches) > 1 {
 			n.emit(obs.KindTreeFork, a.pkt.msgID, a.node, mesh.Local)
 		}
+		if n.faults != nil {
+			n.reapStranded(vc, a.node)
+		}
 	}
 	n.transit = n.transit[:0]
 
 	// 2. Ejection: one cycle after entering the router, bypassing the
 	// crossbar.
 	for node := range n.routers {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+			continue
+		}
 		r := &n.routers[node]
 		for p := 0; p < mesh.NumDirs; p++ {
 			for v := range r.vcs[p] {
@@ -391,6 +445,9 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 		if len(r.nic) == 0 {
 			continue
 		}
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+			continue
+		}
 		for v := range r.vcs[mesh.Local] {
 			vc := &r.vcs[mesh.Local][v]
 			if !vc.empty() || vc.reserved || vc.availAt > n.cycle {
@@ -405,6 +462,9 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 			if pkt.tree != nil && len(vc.branches) > 1 {
 				n.emit(obs.KindTreeFork, pkt.msgID, mesh.NodeID(node), mesh.Local)
 			}
+			if n.faults != nil {
+				n.reapStranded(vc, mesh.NodeID(node))
+			}
 			break
 		}
 	}
@@ -416,8 +476,12 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 	// 5. Switch allocation and traversal.
 	n.allocateSwitch()
 
-	// 6. Age and leak.
+	// 6. Age and leak. A stuck router's pipeline is frozen, so its VCs
+	// do not age while the fault is active.
 	for node := range n.routers {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+			continue
+		}
 		r := &n.routers[node]
 		for p := 0; p < mesh.NumDirs; p++ {
 			for v := range r.vcs[p] {
@@ -453,11 +517,19 @@ func (n *Network) allocateVCs() {
 	reqs := n.vcReqs
 	free := n.vcFree
 	for node := range n.routers {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+			continue
+		}
 		r := &n.routers[node]
 		for out := 0; out < mesh.NumLinkDirs; out++ {
 			dir := mesh.Dir(out)
 			next, ok := n.m.Neighbor(mesh.NodeID(node), dir)
 			if !ok {
+				continue
+			}
+			// No reservations across a dead link; packets wanting it
+			// wait (multicast) or get rerouted (rerouteFaults).
+			if n.faults != nil && n.faults.LinkDown(n.cycle, mesh.NodeID(node), dir) {
 				continue
 			}
 			down := &n.routers[next]
@@ -482,10 +554,16 @@ func (n *Network) allocateVCs() {
 			if !anyReq {
 				continue
 			}
+			// Failed buffer slots mask the highest-numbered VCs of the
+			// downstream port for new reservations.
+			limit := n.cfg.VCs
+			if n.faults != nil {
+				limit -= n.faults.LostSlots(n.cycle, next, inPort)
+			}
 			anyFree := false
 			for v := 0; v < n.cfg.VCs; v++ {
 				dvc := &down.vcs[inPort][v]
-				free[v] = dvc.empty() && !dvc.reserved && dvc.availAt <= n.cycle
+				free[v] = v < limit && dvc.empty() && !dvc.reserved && dvc.availAt <= n.cycle
 				anyFree = anyFree || free[v]
 			}
 			if !anyFree {
@@ -523,12 +601,20 @@ func (n *Network) allocateVCs() {
 func (n *Network) allocateSwitch() {
 	ready := n.cfg.RouterDelay - 1
 	for node := range n.routers {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+			continue
+		}
 		r := &n.routers[node]
 		// An input port requests an output when any of its VCs has
 		// an allocated, unsent branch and has aged through the
-		// pipeline.
+		// pipeline. A dead output link takes no requests: an already
+		// allocated branch holds its downstream VC until the link
+		// heals or the watchdog reclaims the packet.
 		match := r.sa.Match(func(in, out int) bool {
 			dir := mesh.Dir(out)
+			if n.faults != nil && n.faults.LinkDown(n.cycle, mesh.NodeID(node), dir) {
+				return false
+			}
 			for v := range r.vcs[in] {
 				vc := &r.vcs[in][v]
 				if vc.empty() || vc.age < ready {

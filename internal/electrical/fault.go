@@ -1,0 +1,251 @@
+package electrical
+
+// Fault handling and the delivery watchdog for the electrical baseline.
+// Everything here is inert unless a fault plan is armed or LossTimeout is
+// configured; the hot paths guard each consultation behind a nil-injector
+// check so the fault-free simulation stays bit-identical.
+//
+// The baseline's flow control is lossless, so its fault semantics differ
+// from the optical network's drop/retry protocol: unicast packets
+// re-route around dead hardware at each router; multicast packets follow
+// pinned VCTM trees and stall on dead branches until the fault heals or
+// the watchdog reclaims them; packets whose destination becomes
+// unreachable are abandoned immediately (there is no retransmission
+// protocol to hold them for).
+
+import (
+	"phastlane/internal/fault"
+	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
+	"phastlane/internal/sim"
+	"phastlane/internal/vctm"
+)
+
+const (
+	// watchdogDefaultPeriod is the watchdog scan interval when no
+	// LossTimeout bounds it more tightly.
+	watchdogDefaultPeriod = 64
+	// starveDefault is the starvation-report threshold (cycles buffered
+	// without progress) when no LossTimeout is configured.
+	starveDefault = 4096
+)
+
+// faultInit arms the configured fault plan and delivery watchdog; called
+// once from New. Panics on an invalid plan (New's contract).
+func (n *Network) faultInit() {
+	inj, err := n.cfg.Faults.Arm(n.m)
+	if err != nil {
+		panic(err)
+	}
+	n.faults = inj
+	if inj != nil {
+		n.frouter = mesh.NewFaultRouter(n.m)
+		n.routeUsable = func(from mesh.NodeID, d mesh.Dir) bool {
+			return !n.faults.LinkDown(n.cycle, from, d)
+		}
+	}
+	if inj != nil || n.cfg.LossTimeout > 0 {
+		n.watchEvery = watchdogDefaultPeriod
+		n.starveAfter = starveDefault
+		if t := n.cfg.LossTimeout; t > 0 {
+			n.starveAfter = t / 2
+			if p := t / 4; p > 0 && p < n.watchEvery {
+				n.watchEvery = p
+			}
+			if n.starveAfter < 1 {
+				n.starveAfter = 1
+			}
+		}
+	}
+}
+
+// SetLossHandler implements sim.LossReporting: handler is invoked
+// synchronously whenever the delivery layer abandons deliveries. Nil
+// disables reporting (losses are still counted in Run().Lost).
+func (n *Network) SetLossHandler(handler func(sim.Loss)) { n.lossHandler = handler }
+
+var _ sim.LossReporting = (*Network)(nil)
+
+// nextDir picks the next hop from at toward dst: dimension-order on a
+// healthy mesh, the minimal fault-aware detour under an armed plan. ok is
+// false when no usable route exists right now.
+func (n *Network) nextDir(at, dst mesh.NodeID) (mesh.Dir, bool) {
+	if n.faults == nil {
+		return n.m.RouteDir(at, dst, 0), true
+	}
+	dirs, ok := n.frouter.AppendRoute(n.frDirs[:0], at, dst, n.routeUsable)
+	n.frDirs = dirs
+	if !ok || len(dirs) == 0 {
+		return 0, false
+	}
+	return dirs[0], true
+}
+
+// faultStep runs once per cycle when the watchdog is armed: it surfaces
+// fault boundaries as observability events, re-routes packets stranded by
+// newly-dead links, and periodically scans for timed-out packets.
+func (n *Network) faultStep() {
+	if n.faults.Pending(n.cycle) {
+		n.faults.Step(n.cycle, n.emitTransition)
+		// Fault state only changes at transition boundaries, so this
+		// is the only moment existing routes can go stale.
+		n.rerouteFaults()
+	}
+	if n.cycle >= n.nextScan {
+		n.watchdogScan()
+		n.nextScan = n.cycle + n.watchEvery
+	}
+}
+
+// emitTransition reports one fault boundary through the tracer.
+func (n *Network) emitTransition(tr fault.Transition) {
+	n.emit(obs.KindFault, 0, tr.Node, tr.Dir)
+}
+
+// rerouteFaults re-resolves the route of every unallocated unicast branch
+// that points at a link dead as of this cycle. Branches that already hold
+// a downstream VC keep it (the switch allocator skips them while the link
+// is dead); multicast branches are pinned to their tree.
+func (n *Network) rerouteFaults() {
+	for node := range n.routers {
+		at := mesh.NodeID(node)
+		r := &n.routers[node]
+		for p := 0; p < mesh.NumDirs; p++ {
+			for v := range r.vcs[p] {
+				vc := &r.vcs[p][v]
+				if vc.empty() || vc.pkt.tree != nil {
+					continue
+				}
+				for i := range vc.branches {
+					b := &vc.branches[i]
+					if b.outVC >= 0 || !n.faults.LinkDown(n.cycle, at, b.dir) {
+						continue
+					}
+					if d, ok := n.nextDir(at, vc.pkt.dst); ok {
+						b.dir = d
+					} else {
+						n.losePacket(vc, at, sim.LossUnreachable)
+						break // the VC is empty now
+					}
+				}
+			}
+		}
+	}
+}
+
+// reapStranded abandons a freshly-filled VC left with no pending work
+// because its unicast destination is unreachable under the current fault
+// set. Called from the two fill sites only when a plan is armed.
+func (n *Network) reapStranded(vc *vcState, at mesh.NodeID) {
+	if vc.deliver || len(vc.branches) > 0 {
+		return
+	}
+	n.losePacket(vc, at, sim.LossUnreachable)
+}
+
+// losePacket abandons the packet replica occupying vc: its outstanding
+// deliveries (the local ejection plus every destination in the subtrees
+// of its remaining branches) are reported lost, downstream VC
+// reservations are released, and the VC frees.
+func (n *Network) losePacket(vc *vcState, at mesh.NodeID, reason sim.LossReason) {
+	count := 1
+	if t := vc.pkt.tree; t != nil {
+		count = 0
+		if vc.deliver {
+			count++
+		}
+		for _, b := range vc.branches {
+			count += n.subtreeDeliveries(t, n.branchTarget(at, b.dir))
+		}
+	}
+	for _, b := range vc.branches {
+		if b.outVC >= 0 {
+			next := n.branchTarget(at, b.dir)
+			n.routers[next].vcs[b.dir.Opposite()][b.outVC].reserved = false
+		}
+	}
+	n.reportLoss(vc.pkt.msgID, at, count, reason)
+	vc.deliver = false
+	vc.branches = vc.branches[:0]
+	n.freeIfDone(vc)
+}
+
+// branchTarget resolves the neighbor a branch points at.
+func (n *Network) branchTarget(at mesh.NodeID, d mesh.Dir) mesh.NodeID {
+	next, ok := n.m.Neighbor(at, d)
+	if !ok {
+		panic("electrical: branch points off the mesh edge")
+	}
+	return next
+}
+
+// subtreeDeliveries counts the delivery targets of the multicast subtree
+// rooted at node.
+func (n *Network) subtreeDeliveries(t *vctm.Tree, node mesh.NodeID) int {
+	c := 0
+	if t.Deliver(node) {
+		c++
+	}
+	for _, d := range t.Children(node) {
+		c += n.subtreeDeliveries(t, n.branchTarget(node, d))
+	}
+	return c
+}
+
+// reportLoss accounts abandoned deliveries and tells the loss handler.
+func (n *Network) reportLoss(msgID uint64, at mesh.NodeID, count int, reason sim.LossReason) {
+	if count <= 0 {
+		return
+	}
+	n.run.Lost += int64(count)
+	n.emit(obs.KindLost, msgID, at, mesh.Local)
+	if n.lossHandler != nil {
+		n.lossHandler(sim.Loss{MsgID: msgID, Node: at, Count: count, Reason: reason})
+	}
+}
+
+// watchdogScan is the livelock/starvation watchdog: it abandons NIC
+// entries and VC occupants older than LossTimeout and reports packets
+// that crossed the starvation threshold since the last scan.
+func (n *Network) watchdogScan() {
+	for node := range n.routers {
+		at := mesh.NodeID(node)
+		r := &n.routers[node]
+		if n.cfg.LossTimeout > 0 && len(r.nic) > 0 {
+			w := 0
+			for _, p := range r.nic {
+				if n.cycle-p.born >= n.cfg.LossTimeout {
+					count := 1
+					if p.tree != nil {
+						count = n.subtreeDeliveries(p.tree, at)
+					}
+					n.reportLoss(p.msgID, at, count, sim.LossTimeout)
+					n.dropRef(p)
+					continue
+				}
+				r.nic[w] = p
+				w++
+			}
+			for i := w; i < len(r.nic); i++ {
+				r.nic[i] = nil
+			}
+			r.nic = r.nic[:w]
+		}
+		for p := 0; p < mesh.NumDirs; p++ {
+			for v := range r.vcs[p] {
+				vc := &r.vcs[p][v]
+				if vc.empty() {
+					continue
+				}
+				age := n.cycle - vc.pkt.born
+				if n.cfg.LossTimeout > 0 && age >= n.cfg.LossTimeout {
+					n.losePacket(vc, at, sim.LossTimeout)
+					continue
+				}
+				if age >= n.starveAfter && age-n.watchEvery < n.starveAfter {
+					n.emit(obs.KindStarve, vc.pkt.msgID, at, mesh.Dir(p))
+				}
+			}
+		}
+	}
+}

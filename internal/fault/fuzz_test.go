@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"phastlane/internal/mesh"
+)
+
+// FuzzParseSpec drives the flag DSL parser with arbitrary input: it must
+// never panic, and any spec it accepts must render (Spec) and re-parse to
+// the identical plan, and survive mesh validation without panicking.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=7;corrupt=0.001")
+	f.Add("dead-link@12:N;dead-link@9:E#100-500")
+	f.Add("stuck@5#1000;slots@3:L=2;slots@3:E=1#0-200")
+	f.Add("dead-link@-1:N#-5--3")
+	f.Add(";;; ;")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		_ = p.Validate(8, 8) // must not panic, errors are fine
+		rendered := p.Spec()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendered %q fails to re-parse: %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("spec %q -> %q round trip changed the plan:\n%+v\n%+v", spec, rendered, p, back)
+		}
+	})
+}
+
+// FuzzParseJSON drives the JSON plan parser with arbitrary bytes: no
+// panics, and accepted plans must survive a marshal/parse round trip and
+// an Arm against a mesh (when they validate).
+func FuzzParseJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed":7,"corrupt_rate":0.001}`))
+	f.Add([]byte(`{"faults":[{"kind":"dead-link","node":12,"dir":"N"}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"stuck","node":5,"from":1000}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"slots","node":3,"dir":"L","slots":2,"from":0,"until":200}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := p.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-marshal: %v", data, err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("re-marshalled %s fails to parse: %v", out, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("JSON round trip changed the plan:\n%+v\n%+v", p, back)
+		}
+		if p.Validate(8, 8) == nil {
+			if _, err := p.Arm(mesh.New(8, 8)); err != nil {
+				t.Fatalf("validated plan fails to arm: %v", err)
+			}
+		}
+	})
+}

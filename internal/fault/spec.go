@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"phastlane/internal/mesh"
+)
+
+// ParseSpec parses the compact fault-plan DSL used by command-line flags.
+// A spec is a semicolon-separated list of items:
+//
+//	seed=7                     corruption-hash seed
+//	corrupt=0.001              per-hop control-corruption probability
+//	dead-link@12:N             permanent dead link out of node 12 north
+//	dead-link@12:N#100-500     transient: active cycles [100,500)
+//	stuck@5                    permanently stuck router 5
+//	stuck@5#1000               router 5 stuck from cycle 1000 on
+//	slots@3:E=2                2 failed buffer entries on port E of node 3
+//	slots@3:L=1#0-200          NIC slot fault, healed at cycle 200
+//
+// Whitespace around items is ignored; an empty spec is the empty plan.
+// ParseSpec checks structure only — validate the result against a mesh
+// with Plan.Validate.
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(item, "seed="):
+			v, err := strconv.ParseInt(item[len("seed="):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed in %q: %v", item, err)
+			}
+			p.Seed = v
+		case strings.HasPrefix(item, "corrupt="):
+			v, err := strconv.ParseFloat(item[len("corrupt="):], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad corruption rate in %q: %v", item, err)
+			}
+			if v < 0 || v >= 1 {
+				return nil, fmt.Errorf("fault: corruption rate %v outside [0,1)", v)
+			}
+			p.CorruptRate = v
+		default:
+			f, err := parseFaultItem(item)
+			if err != nil {
+				return nil, err
+			}
+			p.Faults = append(p.Faults, f)
+		}
+	}
+	return p, nil
+}
+
+// parseFaultItem parses one "kind@node[:dir][=slots][#from[-until]]" item.
+func parseFaultItem(item string) (Fault, error) {
+	kindStr, rest, ok := strings.Cut(item, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("fault: %q is not kind@node[...]", item)
+	}
+	kind, ok := kindByName(kindStr)
+	if !ok {
+		return Fault{}, fmt.Errorf("fault: unknown kind %q in %q", kindStr, item)
+	}
+	f := Fault{Kind: kind, Dir: mesh.Local}
+	// Split off the optional #from[-until] window first.
+	rest, window, hasWindow := cutLast(rest, '#')
+	if hasWindow {
+		fromStr, untilStr, hasUntil := strings.Cut(window, "-")
+		v, err := strconv.ParseInt(fromStr, 10, 64)
+		if err != nil {
+			return Fault{}, fmt.Errorf("fault: bad window start in %q: %v", item, err)
+		}
+		f.From = v
+		if hasUntil {
+			u, err := strconv.ParseInt(untilStr, 10, 64)
+			if err != nil {
+				return Fault{}, fmt.Errorf("fault: bad window end in %q: %v", item, err)
+			}
+			f.Until = u
+		}
+	}
+	// Then the optional =slots count.
+	rest, slotsStr, hasSlots := cutLast(rest, '=')
+	if hasSlots != (kind == BufferSlots) {
+		return Fault{}, fmt.Errorf("fault: %q: slot count is required for slots faults and invalid elsewhere", item)
+	}
+	if hasSlots {
+		v, err := strconv.Atoi(slotsStr)
+		if err != nil {
+			return Fault{}, fmt.Errorf("fault: bad slot count in %q: %v", item, err)
+		}
+		f.Slots = v
+	}
+	// Finally node[:dir].
+	nodeStr, dirStr, hasDir := strings.Cut(rest, ":")
+	if hasDir != (kind != StuckRouter) {
+		return Fault{}, fmt.Errorf("fault: %q: a direction is required for %s faults and invalid for stuck routers", item, kind)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return Fault{}, fmt.Errorf("fault: bad node in %q: %v", item, err)
+	}
+	f.Node = mesh.NodeID(node)
+	if hasDir {
+		d, ok := dirByName(dirStr)
+		if !ok {
+			return Fault{}, fmt.Errorf("fault: unknown direction %q in %q", dirStr, item)
+		}
+		f.Dir = d
+	}
+	return f, nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}
+
+// Spec renders the plan in the DSL ParseSpec accepts, so plans round-trip
+// through flags and log lines.
+func (p *Plan) Spec() string {
+	if p == nil {
+		return ""
+	}
+	var items []string
+	if p.Seed != 0 {
+		items = append(items, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.CorruptRate != 0 {
+		items = append(items, fmt.Sprintf("corrupt=%g", p.CorruptRate))
+	}
+	for _, f := range p.Faults {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s@%d", f.Kind, f.Node)
+		if f.Kind != StuckRouter {
+			fmt.Fprintf(&b, ":%s", f.Dir)
+		}
+		if f.Kind == BufferSlots {
+			fmt.Fprintf(&b, "=%d", f.Slots)
+		}
+		if f.From != 0 || f.Until != 0 {
+			fmt.Fprintf(&b, "#%d", f.From)
+			if f.Until != 0 {
+				fmt.Fprintf(&b, "-%d", f.Until)
+			}
+		}
+		items = append(items, b.String())
+	}
+	return strings.Join(items, ";")
+}

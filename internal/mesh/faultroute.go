@@ -1,0 +1,113 @@
+package mesh
+
+// LinkUsable reports whether the directed link out of from toward d can
+// carry a packet right now. FaultRouter treats a false return as a dead
+// link; callers typically close over a fault injector and the current
+// cycle.
+type LinkUsable func(from NodeID, d Dir) bool
+
+// FaultRouter computes minimal routes around unusable links and routers.
+// It first tries the plain dimension-order (X-then-Y) route — the one
+// both simulators use on healthy meshes — and falls back to a
+// breadth-first search for a shortest detour when that route crosses a
+// dead link. The BFS visits neighbours in fixed N, E, S, W order from a
+// FIFO frontier, so the detour chosen for a given fault set is
+// deterministic.
+//
+// The router owns reusable scratch (visit stamps, predecessor table,
+// frontier), so repeated queries do not allocate once the scratch has
+// grown; it is not safe for concurrent use. A zero FaultRouter is not
+// usable; construct with NewFaultRouter.
+type FaultRouter struct {
+	m *Mesh
+	// seen[n] == epoch marks n visited in the current query; the epoch
+	// bump replaces a per-query clear.
+	seen  []int64
+	epoch int64
+	// via[n] is the direction taken to first reach n.
+	via   []Dir
+	queue []NodeID
+}
+
+// NewFaultRouter returns a router for m.
+func NewFaultRouter(m *Mesh) *FaultRouter {
+	return &FaultRouter{
+		m:     m,
+		seen:  make([]int64, m.Nodes()),
+		via:   make([]Dir, m.Nodes()),
+		queue: make([]NodeID, 0, m.Nodes()),
+	}
+}
+
+// AppendRoute appends a minimal route from src to dst avoiding links
+// where usable returns false, and reports whether dst is reachable at
+// all. When the dimension-order route is clear it is returned unchanged
+// (so fault-free queries cost one pass over the route); otherwise the
+// shortest detour is found by BFS. On unreachable destinations buf is
+// returned unmodified with ok == false. src == dst yields an empty route.
+func (r *FaultRouter) AppendRoute(buf []Dir, src, dst NodeID, usable LinkUsable) ([]Dir, bool) {
+	if src == dst {
+		return buf, true
+	}
+	// Fast path: the dimension-order route, validated link by link.
+	n := r.m.HopDistance(src, dst)
+	at := src
+	clear := true
+	for i := 0; i < n; i++ {
+		d := r.m.RouteDir(src, dst, i)
+		if !usable(at, d) {
+			clear = false
+			break
+		}
+		next, ok := r.m.Neighbor(at, d)
+		if !ok {
+			panic("mesh: dimension-order route walks off the mesh")
+		}
+		at = next
+	}
+	if clear {
+		return r.m.AppendRoute(buf, src, dst), true
+	}
+
+	// BFS for a shortest detour over usable links.
+	r.epoch++
+	r.seen[src] = r.epoch
+	q := r.queue[:0]
+	q = append(q, src)
+	found := false
+	for i := 0; i < len(q) && !found; i++ {
+		cur := q[i]
+		for d := Dir(0); d < NumLinkDirs; d++ {
+			next, ok := r.m.Neighbor(cur, d)
+			if !ok || r.seen[next] == r.epoch || !usable(cur, d) {
+				continue
+			}
+			r.seen[next] = r.epoch
+			r.via[next] = d
+			if next == dst {
+				found = true
+				break
+			}
+			q = append(q, next)
+		}
+	}
+	r.queue = q
+	if !found {
+		return buf, false
+	}
+	// Walk the predecessor chain back from dst, then reverse in place.
+	start := len(buf)
+	for at := dst; at != src; {
+		d := r.via[at]
+		buf = append(buf, d)
+		prev, ok := r.m.Neighbor(at, d.Opposite())
+		if !ok {
+			panic("mesh: BFS predecessor walks off the mesh")
+		}
+		at = prev
+	}
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf, true
+}

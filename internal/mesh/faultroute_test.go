@@ -1,0 +1,185 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allUsable is the healthy-mesh predicate.
+func allUsable(NodeID, Dir) bool { return true }
+
+// walkRoute follows dirs from src, failing on off-mesh steps or unusable
+// links, and returns the final node.
+func walkRoute(t *testing.T, m *Mesh, src NodeID, dirs []Dir, usable LinkUsable) NodeID {
+	t.Helper()
+	at := src
+	for i, d := range dirs {
+		if !usable(at, d) {
+			t.Fatalf("route step %d crosses unusable link %d->%s", i, at, d)
+		}
+		next, ok := m.Neighbor(at, d)
+		if !ok {
+			t.Fatalf("route step %d walks off mesh at %d going %s", i, at, d)
+		}
+		at = next
+	}
+	return at
+}
+
+// refShortest is an independent BFS distance under the usable predicate,
+// or -1 when unreachable.
+func refShortest(m *Mesh, src, dst NodeID, usable LinkUsable) int {
+	dist := make([]int, m.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for d := Dir(0); d < NumLinkDirs; d++ {
+			next, ok := m.Neighbor(cur, d)
+			if !ok || !usable(cur, d) || dist[next] >= 0 {
+				continue
+			}
+			dist[next] = dist[cur] + 1
+			queue = append(queue, next)
+		}
+	}
+	return dist[dst]
+}
+
+func TestFaultRouteHealthyMatchesDimensionOrder(t *testing.T) {
+	m := New(8, 8)
+	fr := NewFaultRouter(m)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		src := NodeID(rng.Intn(m.Nodes()))
+		dst := NodeID(rng.Intn(m.Nodes()))
+		got, ok := fr.AppendRoute(nil, src, dst, allUsable)
+		if !ok {
+			t.Fatalf("healthy mesh unreachable %d->%d", src, dst)
+		}
+		want := m.AppendRoute(nil, src, dst)
+		if len(got) != len(want) {
+			t.Fatalf("route %d->%d: %v, want %v", src, dst, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("route %d->%d: %v, want dimension-order %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestFaultRouteDetoursAreShortest(t *testing.T) {
+	m := New(8, 8)
+	fr := NewFaultRouter(m)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		// Kill a random set of directed links (both directions, so the
+		// reference BFS and the router see the same topology).
+		dead := make(map[[2]int]bool)
+		for k := 0; k < 8; k++ {
+			n := NodeID(rng.Intn(m.Nodes()))
+			d := Dir(rng.Intn(int(NumLinkDirs)))
+			nb, ok := m.Neighbor(n, d)
+			if !ok {
+				continue
+			}
+			dead[[2]int{int(n), int(d)}] = true
+			dead[[2]int{int(nb), int(d.Opposite())}] = true
+		}
+		usable := func(from NodeID, d Dir) bool { return !dead[[2]int{int(from), int(d)}] }
+		src := NodeID(rng.Intn(m.Nodes()))
+		dst := NodeID(rng.Intn(m.Nodes()))
+		if src == dst {
+			continue
+		}
+		want := refShortest(m, src, dst, usable)
+		got, ok := fr.AppendRoute(nil, src, dst, usable)
+		if (want >= 0) != ok {
+			t.Fatalf("trial %d: reachability mismatch %d->%d: ref %d, ok %v", trial, src, dst, want, ok)
+		}
+		if !ok {
+			continue
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: route %d->%d length %d, shortest is %d (%v)", trial, src, dst, len(got), want, got)
+		}
+		if end := walkRoute(t, m, src, got, usable); end != dst {
+			t.Fatalf("trial %d: route ends at %d, want %d", trial, end, dst)
+		}
+	}
+}
+
+func TestFaultRouteUnreachable(t *testing.T) {
+	m := New(8, 8)
+	fr := NewFaultRouter(m)
+	dst := NodeID(27)
+	usable := func(from NodeID, d Dir) bool {
+		next, ok := m.Neighbor(from, d)
+		return ok && next != dst
+	}
+	buf := []Dir{East, East}
+	got, ok := fr.AppendRoute(buf, 0, dst, usable)
+	if ok {
+		t.Fatal("isolated destination reported reachable")
+	}
+	if len(got) != len(buf) || got[0] != East || got[1] != East {
+		t.Fatalf("buf modified on unreachable: %v", got)
+	}
+	// The router must recover cleanly on the next query.
+	if _, ok := fr.AppendRoute(nil, 0, 5, allUsable); !ok {
+		t.Fatal("router broken after unreachable query")
+	}
+}
+
+func TestFaultRouteDeterministic(t *testing.T) {
+	m := New(8, 8)
+	usable := func(from NodeID, d Dir) bool {
+		// Kill the whole middle column's east links to force detours.
+		return !(m.Coord(from).X == 3 && d == East)
+	}
+	a := NewFaultRouter(m)
+	b := NewFaultRouter(m)
+	for src := NodeID(0); src < 16; src++ {
+		dst := NodeID(m.Nodes() - 1 - int(src))
+		ra, oka := a.AppendRoute(nil, src, dst, usable)
+		// Repeat on the same router and on a fresh one.
+		ra2, _ := a.AppendRoute(nil, src, dst, usable)
+		rb, okb := b.AppendRoute(nil, src, dst, usable)
+		if oka != okb {
+			t.Fatalf("%d->%d: reachability differs", src, dst)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] || ra[i] != ra2[i] {
+				t.Fatalf("%d->%d: detours differ: %v / %v / %v", src, dst, ra, ra2, rb)
+			}
+		}
+	}
+}
+
+func TestFaultRouteSelfAndScratchReuse(t *testing.T) {
+	m := New(8, 8)
+	fr := NewFaultRouter(m)
+	if got, ok := fr.AppendRoute(nil, 9, 9, allUsable); !ok || len(got) != 0 {
+		t.Fatalf("src==dst: %v, %v", got, ok)
+	}
+	// Steady-state queries must not allocate once buf capacity suffices:
+	// the routing scratch lives on the router.
+	usable := func(from NodeID, d Dir) bool { return !(from == 1 && d == East) }
+	buf := make([]Dir, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		var ok bool
+		buf, ok = fr.AppendRoute(buf, 0, 7, usable)
+		if !ok {
+			t.Fatal("reachable destination reported unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRoute allocates %v per query at steady state", allocs)
+	}
+}

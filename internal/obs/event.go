@@ -58,6 +58,22 @@ const (
 	// KindTreeFork: a VCTM multicast packet replicated at a branch
 	// router (more than one onward branch).
 	KindTreeFork
+	// KindFault: a scheduled hardware fault activated (or healed) at
+	// Node; Dir names the affected link for link-level faults. MsgID is
+	// 0 — the event describes the topology, not one packet.
+	KindFault
+	// KindCorrupt: control-bit corruption (resonator drift) hit the
+	// packet at Node; the router misroutes or spuriously drops it.
+	KindCorrupt
+	// KindUnreachable: a relaunch found no usable route from Node to
+	// the packet's destination under the current fault set.
+	KindUnreachable
+	// KindStarve: the delivery watchdog found the packet stuck (queued
+	// far beyond the starvation threshold) at Node.
+	KindStarve
+	// KindLost: the delivery layer abandoned the packet at Node (retry
+	// budget exhausted or loss timeout exceeded) and reported it lost.
+	KindLost
 
 	// NumKinds bounds Kind for dense per-kind arrays.
 	NumKinds
@@ -88,6 +104,16 @@ func (k Kind) String() string {
 		return "creditstall"
 	case KindTreeFork:
 		return "treefork"
+	case KindFault:
+		return "fault"
+	case KindCorrupt:
+		return "corrupt"
+	case KindUnreachable:
+		return "unreachable"
+	case KindStarve:
+		return "starve"
+	case KindLost:
+		return "lost"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

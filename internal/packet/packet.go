@@ -406,6 +406,41 @@ func BuildControl(m *mesh.Mesh, src, dst mesh.NodeID) (Control, mesh.Dir) {
 	return c, launch
 }
 
+// ControlFromDirs predecodes an explicit sequence of travel directions
+// into control groups, returning the control and the direction the source
+// must launch in. It is the arbitrary-route counterpart of BuildControl
+// for fault-aware detours that leave the dimension-order template: dirs
+// lists every link of the route in travel order, and consecutive
+// directions must differ by at most one turn (no reversals — a minimal
+// route never doubles back). Routes longer than MaxGroups are truncated
+// at an interim stop exactly as BuildControl truncates, leaving the
+// interim node to rebuild the remainder. It panics on an empty route.
+func ControlFromDirs(dirs []mesh.Dir) (Control, mesh.Dir) {
+	if len(dirs) == 0 {
+		panic("packet: ControlFromDirs with empty route")
+	}
+	n, truncated := len(dirs), false
+	if n > MaxGroups {
+		n, truncated = MaxGroups, true
+	}
+	var c Control
+	for i := 1; i <= n; i++ {
+		out := mesh.Local
+		if i < n {
+			out = dirs[i]
+		}
+		c.Groups[i-1] = GroupForStep(dirs[i-1], out, false)
+		c.Used = i
+	}
+	if truncated {
+		last := &c.Groups[c.Used-1]
+		last.Local = true
+		g := GroupForStep(dirs[n-1], dirs[n], false)
+		last.Straight, last.Left, last.Right = g.Straight, g.Left, g.Right
+	}
+	return c, dirs[0]
+}
+
 // MarkInterims sets the Local bit at every maxHops-th router of an existing
 // control so that journeys longer than a single cycle stop at interim nodes
 // that buffer and relaunch the packet (paper Section 2.1.3). The direction

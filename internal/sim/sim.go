@@ -69,6 +69,60 @@ type Traceable interface {
 	SetTracer(func(obs.Event))
 }
 
+// LossReason classifies why the delivery layer abandoned a message.
+type LossReason int
+
+// Loss reasons.
+const (
+	// LossRetryBudget: the per-message retry budget was exhausted.
+	LossRetryBudget LossReason = iota
+	// LossTimeout: the message aged past the loss-detection timeout.
+	LossTimeout
+	// LossUnreachable: no usable route to the destination existed.
+	LossUnreachable
+)
+
+// String names the reason.
+func (r LossReason) String() string {
+	switch r {
+	case LossRetryBudget:
+		return "retry-budget"
+	case LossTimeout:
+		return "timeout"
+	case LossUnreachable:
+		return "unreachable"
+	default:
+		return fmt.Sprintf("LossReason(%d)", int(r))
+	}
+}
+
+// Loss reports that a network's delivery layer has given up on part of a
+// message: Count destinations of MsgID will never receive it. Node is
+// where the message was abandoned (its last owner).
+type Loss struct {
+	MsgID  uint64
+	Node   mesh.NodeID
+	Count  int
+	Reason LossReason
+}
+
+// LossReporting is implemented by networks whose delivery layer can
+// abandon messages (fault plans, retry budgets, loss timeouts). The
+// handler is invoked synchronously from Step, once per abandoned parcel;
+// nil disables reporting. The harness attaches itself through this
+// interface so lost messages resolve instead of stalling the drain phase.
+type LossReporting interface {
+	SetLossHandler(func(Loss))
+}
+
+// attachLoss installs handler on net when the network supports loss
+// reporting; without support the handler never fires (lossless networks).
+func attachLoss(net Network, handler func(Loss)) {
+	if lr, ok := net.(LossReporting); ok {
+		lr.SetLossHandler(handler)
+	}
+}
+
 // attachObs installs c's tracer on net when both sides support it and
 // returns the sampler the harness must drive, if any. This is the one
 // type-assertion through which every observability attachment flows.
@@ -99,6 +153,13 @@ type Result struct {
 	// Saturated is set when the network failed to drain or its
 	// accepted throughput fell well short of the offered rate.
 	Saturated bool
+	// Lost counts measured messages the network's delivery layer
+	// abandoned and reported (see LossReporting); always zero for
+	// lossless configurations.
+	Lost int64
+	// Unresolved counts measured messages still outstanding when the
+	// drain phase gave up: neither delivered nor reported lost.
+	Unresolved int64
 	// LatencyByOp breaks trace-replay latency down by message class
 	// (broadcast requests vs unicast replies vs writebacks).
 	LatencyByOp map[packet.Op]*stats.Latency
@@ -111,6 +172,9 @@ type Result struct {
 type messageState struct {
 	inject    int64
 	remaining int
+	// lost marks a message with at least one abandoned delivery; its
+	// completion is counted as a loss, not a latency sample.
+	lost bool
 }
 
 // RateConfig controls a synthetic rate-driven run.
@@ -155,6 +219,25 @@ func RunRate(net Network, cfg RateConfig) Result {
 	var cycle int64
 	var offered, accepted int64
 	sampler := attachObs(net, cfg.Obs)
+	// Losses reported by the delivery layer resolve measured messages so
+	// the drain phase does not wait forever for packets that will never
+	// arrive. Unrecorded (warmup) losses need no bookkeeping.
+	attachLoss(net, func(l Loss) {
+		if base == 0 || l.MsgID < base || l.MsgID-base >= uint64(len(states)) {
+			return
+		}
+		st := &states[l.MsgID-base]
+		if st.remaining == 0 {
+			return
+		}
+		st.lost = true
+		st.remaining -= l.Count
+		if st.remaining <= 0 {
+			st.remaining = 0
+			active--
+			res.Lost++
+		}
+	})
 	var cycleInjected int
 	var deliveries []Delivery // reused across cycles (Step buffer contract)
 	dsts := make([]mesh.NodeID, 1)
@@ -193,11 +276,17 @@ func RunRate(net Network, cfg RateConfig) Result {
 			st := &states[d.MsgID-base]
 			st.remaining--
 			if st.remaining == 0 {
+				active--
+				if st.lost {
+					// A partially-lost message completing its
+					// surviving deliveries counts as a loss.
+					res.Lost++
+					continue
+				}
 				lat := float64(cycle - st.inject + 1)
 				res.Run.Latency.Add(lat)
 				completed++
 				latencySum += lat
-				active--
 			}
 		}
 		if sampler != nil {
@@ -223,6 +312,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 	res.Offered = offered
 	res.Run.Injected = accepted
 	res.Run.Delivered = int64(res.Run.Latency.Count())
+	res.Unresolved = int64(active)
 	copyCounters(&res.Run, net.Run())
 	if active > 0 || (offered > 0 && float64(accepted) < 0.9*float64(offered)) {
 		res.Saturated = true
@@ -234,6 +324,9 @@ func RunRate(net Network, cfg RateConfig) Result {
 func copyCounters(dst, src *stats.Run) {
 	dst.Drops = src.Drops
 	dst.Retries = src.Retries
+	dst.Lost = src.Lost
+	dst.Unreachable = src.Unreachable
+	dst.Corrupt = src.Corrupt
 	dst.LinkTraversals = src.LinkTraversals
 	dst.BufferedPackets = src.BufferedPackets
 	dst.ElectricalEnergyPJ = src.ElectricalEnergyPJ
@@ -297,6 +390,38 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 	var cycle int64
 	remainingDeliveries := 0
 	sampler := attachObs(net, cfg.Obs)
+	// wake readies the children of a completed message (delivered or
+	// abandoned): think time from now, never before EarliestCycle.
+	wake := func(id uint64) {
+		for dep := firstDep[id]; dep != 0; dep = nextDep[dep] {
+			think := tr.Messages[dep-1].Think
+			at := cycle + 1 + think
+			if e := tr.Messages[dep-1].EarliestCycle; e > at {
+				at = e
+			}
+			readyAt[dep] = at
+		}
+	}
+	// A lost message resolves like a delivery for dependency purposes —
+	// its children proceed — but contributes no latency sample, so a
+	// faulty replay degrades instead of deadlocking.
+	attachLoss(net, func(l Loss) {
+		st := &states[l.MsgID]
+		if st.remaining == 0 {
+			return
+		}
+		st.lost = true
+		count := l.Count
+		if count > st.remaining {
+			count = st.remaining
+		}
+		st.remaining -= count
+		remainingDeliveries -= count
+		if st.remaining == 0 {
+			res.Lost++
+			wake(l.MsgID)
+		}
+	})
 	var deliveries []Delivery // reused across cycles (Step buffer contract)
 	// dsts is the injection scratch: one entry for unicasts, everyone
 	// but the source for broadcasts. Inject does not retain it.
@@ -353,6 +478,11 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			if st.remaining > 0 {
 				continue
 			}
+			if st.lost {
+				res.Lost++
+				wake(d.MsgID)
+				continue
+			}
 			lat := float64(cycle - st.inject + 1)
 			res.Run.Latency.Add(lat)
 			completed++
@@ -366,14 +496,7 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 				res.LatencyByOp[m.Op] = ol
 			}
 			ol.Add(lat)
-			for dep := firstDep[d.MsgID]; dep != 0; dep = nextDep[dep] {
-				think := tr.Messages[dep-1].Think
-				at := cycle + 1 + think
-				if e := tr.Messages[dep-1].EarliestCycle; e > at {
-					at = e
-				}
-				readyAt[dep] = at
-			}
+			wake(d.MsgID)
 		}
 		if sampler != nil {
 			sampler.Tick(cycle, len(deliveries), completed, latencySum, cycleInjected, net.Run().Drops)

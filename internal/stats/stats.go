@@ -79,6 +79,17 @@ type Run struct {
 	Injected, Delivered int64
 	// Drops counts packet drops; Retries counts retransmissions.
 	Drops, Retries int64
+	// Lost counts (message, destination) deliveries the delivery layer
+	// abandoned and reported (retry budget exhausted, loss timeout, or
+	// an unreachable destination under faults); zero without faults or
+	// delivery limits armed.
+	Lost int64
+	// Unreachable counts relaunch attempts that found no usable route
+	// to the destination under the active fault set.
+	Unreachable int64
+	// Corrupt counts control-bit corruption events injected by a fault
+	// plan (resonator drift misroutes and spurious drops).
+	Corrupt int64
 	// LinkTraversals counts packet-link crossings (for power).
 	LinkTraversals int64
 	// BufferedPackets counts receptions into electrical buffers.
