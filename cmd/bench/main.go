@@ -4,18 +4,25 @@
 // (BENCH_kernel.json by default).
 //
 // For each simulator it drives sustained uniform-random load through the
-// redesigned zero-allocation Step(buf) API: after a pool-warming phase it
-// times inject+Step cycles and counts heap allocations with
-// runtime.MemStats. The report includes cycles/sec, ns and allocations
-// per cycle, and the speedup over the pre-redesign kernel (baselines
-// recorded below, measured on the same harness before the
-// pooling/scratch-buffer rework).
+// zero-allocation Step(buf) API: after a pool-warming phase it times
+// inject+Step cycles and counts heap allocations with runtime.MemStats.
+// The report includes cycles/sec, ns and allocations per cycle, the mesh
+// geometry and GOMAXPROCS of each entry, and the speedup over the
+// pre-redesign kernel (baselines recorded below, measured on the same
+// harness before the pooling/scratch-buffer rework).
+//
+// The -scale mode sweeps mesh sizes 8×8 → 64×64 at a low injection rate
+// where idle routers dominate, measuring the optical simulator, the
+// event-driven electrical kernel, and the dense-walk electrical reference
+// at every size, and writes BENCH_scale.json with the event-vs-dense
+// speedup per size.
 //
 // Usage:
 //
 //	bench                     # ~2s per kernel, writes BENCH_kernel.json
 //	bench -benchtime 10s      # longer measurement
 //	bench -out report.json    # alternate output path
+//	bench -scale              # mesh-size sweep, writes BENCH_scale.json
 package main
 
 import (
@@ -37,9 +44,9 @@ import (
 // Pre-redesign kernel timings (ns per inject+Step cycle at 0.10
 // uniform-random load on the reference container, Intel Xeon @ 2.10GHz),
 // captured immediately before the zero-allocation rework. Speedups in the
-// report are relative to these; on different hardware the absolute
-// numbers shift but the ratio stays meaningful because both sides of the
-// comparison ran the same workload.
+// default report are relative to these; on different hardware the
+// absolute numbers shift but the ratio stays meaningful because both
+// sides of the comparison ran the same workload.
 const (
 	baselineOpticalNsPerCycle    = 16102.0
 	baselineElectricalNsPerCycle = 296615.0
@@ -50,16 +57,21 @@ const (
 // kernelResult is one simulator's measurement in the JSON report.
 type kernelResult struct {
 	Name           string  `json:"name"`
+	Width          int     `json:"width"`
+	Height         int     `json:"height"`
+	Nodes          int     `json:"nodes"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
 	Cycles         int64   `json:"cycles"`
 	NsPerCycle     float64 `json:"ns_per_cycle"`
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 	BytesPerCycle  float64 `json:"bytes_per_cycle"`
-	// Baseline fields describe the pre-redesign kernel this run is
-	// compared against.
-	BaselineNsPerCycle float64 `json:"baseline_ns_per_cycle"`
-	BaselineAllocs     float64 `json:"baseline_allocs_per_cycle"`
-	Speedup            float64 `json:"speedup"`
+	// Baseline fields describe the kernel this run is compared against:
+	// the pre-redesign kernel in the default report, the dense-walk
+	// reference at the same size for event-driven entries in -scale.
+	BaselineNsPerCycle float64 `json:"baseline_ns_per_cycle,omitempty"`
+	BaselineAllocs     float64 `json:"baseline_allocs_per_cycle,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
 }
 
 // report is the BENCH_kernel.json document.
@@ -70,9 +82,28 @@ type report struct {
 	Kernels      []kernelResult `json:"kernels"`
 }
 
+// scaleSpeedup is one mesh size's event-driven vs dense-walk comparison.
+type scaleSpeedup struct {
+	Width        int     `json:"width"`
+	Height       int     `json:"height"`
+	Nodes        int     `json:"nodes"`
+	DenseNs      float64 `json:"dense_ns_per_cycle"`
+	EventNs      float64 `json:"event_ns_per_cycle"`
+	EventSpeedup float64 `json:"event_speedup"`
+}
+
+// scaleReport is the BENCH_scale.json document.
+type scaleReport struct {
+	BenchtimeSec float64        `json:"benchtime_sec"`
+	Rate         float64        `json:"injection_rate"`
+	GoMaxProcs   int            `json:"gomaxprocs"`
+	Entries      []kernelResult `json:"entries"`
+	Speedups     []scaleSpeedup `json:"speedups"`
+}
+
 // measure drives net at the given load until benchtime elapses (after a
-// 500-cycle pool-warming phase) and returns timing and allocation rates.
-func measure(name string, net sim.Network, rate float64, benchtime time.Duration, baseNs, baseAllocs float64) kernelResult {
+// warmup pool-warming phase) and returns timing and allocation rates.
+func measure(name string, net sim.Network, w, h int, rate float64, warmup int, benchtime time.Duration) kernelResult {
 	inj := traffic.NewInjector(traffic.UniformRandom(net.Nodes(), 1), net.Nodes(), rate, 2)
 	var id uint64
 	var buf []sim.Delivery
@@ -87,7 +118,7 @@ func measure(name string, net sim.Network, rate float64, benchtime time.Duration
 		}
 		buf = net.Step(buf[:0])
 	}
-	for i := 0; i < 500; i++ {
+	for i := 0; i < warmup; i++ {
 		cycle()
 	}
 
@@ -97,60 +128,136 @@ func measure(name string, net sim.Network, rate float64, benchtime time.Duration
 	var elapsed time.Duration
 	start := time.Now()
 	for elapsed < benchtime {
-		for i := 0; i < 1000; i++ {
+		// Small batches keep the time check honest even when one cycle
+		// costs a millisecond (the dense walk on a 64×64 mesh).
+		for i := 0; i < 100; i++ {
 			cycle()
 		}
-		cycles += 1000
+		cycles += 100
 		elapsed = time.Since(start)
 	}
 	runtime.ReadMemStats(&after)
 
 	ns := float64(elapsed.Nanoseconds()) / float64(cycles)
 	return kernelResult{
-		Name:               name,
-		Cycles:             cycles,
-		NsPerCycle:         ns,
-		CyclesPerSec:       1e9 / ns,
-		AllocsPerCycle:     float64(after.Mallocs-before.Mallocs) / float64(cycles),
-		BytesPerCycle:      float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles),
-		BaselineNsPerCycle: baseNs,
-		BaselineAllocs:     baseAllocs,
-		Speedup:            baseNs / ns,
+		Name:           name,
+		Width:          w,
+		Height:         h,
+		Nodes:          w * h,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Cycles:         cycles,
+		NsPerCycle:     ns,
+		CyclesPerSec:   1e9 / ns,
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles),
 	}
 }
 
-func main() {
-	out := flag.String("out", "BENCH_kernel.json", "output path for the JSON report")
-	benchtime := flag.Duration("benchtime", 2*time.Second, "measurement time per kernel")
-	rate := flag.Float64("rate", 0.10, "uniform-random injection rate per node per cycle")
-	flag.Parse()
-
-	rep := report{
-		BenchtimeSec: benchtime.Seconds(),
-		Rate:         *rate,
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-	}
-	rep.Kernels = append(rep.Kernels, measure("optical",
-		core.New(core.DefaultConfig()), *rate, *benchtime,
-		baselineOpticalNsPerCycle, baselineOpticalAllocs))
-	rep.Kernels = append(rep.Kernels, measure("electrical",
-		electrical.New(electrical.DefaultConfig()), *rate, *benchtime,
-		baselineElectricalNsPerCycle, baselineElectricalAllocs))
-
-	for _, k := range rep.Kernels {
-		fmt.Printf("%-11s %10.0f cycles/sec  %8.0f ns/cycle  %6.2f allocs/cycle  %5.2fx vs pre-redesign\n",
-			k.Name, k.CyclesPerSec, k.NsPerCycle, k.AllocsPerCycle, k.Speedup)
-	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
+// writeReport marshals doc to path.
+func writeReport(path string, doc any) {
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
+}
+
+// runDefault measures both simulators at the default 8×8 size against the
+// pre-redesign baselines and writes BENCH_kernel.json.
+func runDefault(out string, rate float64, benchtime time.Duration) {
+	rep := report{
+		BenchtimeSec: benchtime.Seconds(),
+		Rate:         rate,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+	}
+	ocfg := core.DefaultConfig()
+	opt := measure("optical", core.New(ocfg), ocfg.Width, ocfg.Height, rate, 500, benchtime)
+	opt.BaselineNsPerCycle = baselineOpticalNsPerCycle
+	opt.BaselineAllocs = baselineOpticalAllocs
+	opt.Speedup = baselineOpticalNsPerCycle / opt.NsPerCycle
+
+	ecfg := electrical.DefaultConfig()
+	ele := measure("electrical", electrical.New(ecfg), ecfg.Width, ecfg.Height, rate, 500, benchtime)
+	ele.BaselineNsPerCycle = baselineElectricalNsPerCycle
+	ele.BaselineAllocs = baselineElectricalAllocs
+	ele.Speedup = baselineElectricalNsPerCycle / ele.NsPerCycle
+
+	rep.Kernels = append(rep.Kernels, opt, ele)
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-11s %10.0f cycles/sec  %8.0f ns/cycle  %6.2f allocs/cycle  %5.2fx vs pre-redesign\n",
+			k.Name, k.CyclesPerSec, k.NsPerCycle, k.AllocsPerCycle, k.Speedup)
+	}
+	writeReport(out, rep)
+}
+
+// runScale sweeps mesh sizes at a low injection rate — the regime the
+// event-driven kernel exists for, where nearly every router is idle in
+// any given cycle — and writes BENCH_scale.json.
+func runScale(out string, rate float64, benchtime time.Duration, maxSize int) {
+	rep := scaleReport{
+		BenchtimeSec: benchtime.Seconds(),
+		Rate:         rate,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+	}
+	for _, size := range []int{8, 16, 32, 64} {
+		if size > maxSize {
+			break
+		}
+		// Warmup scales with the node count so free-list pools reach
+		// their steady-state population before allocation counting.
+		warmup := 500 + size*size/2
+		name := func(k string) string { return fmt.Sprintf("%s-%dx%d", k, size, size) }
+
+		ocfg := core.DefaultConfig()
+		ocfg.Width, ocfg.Height = size, size
+		opt := measure(name("optical"), core.New(ocfg), size, size, rate, warmup, benchtime)
+
+		ecfg := electrical.DefaultConfig()
+		ecfg.Width, ecfg.Height = size, size
+		dense := measure(name("electrical-dense"), electrical.NewReference(ecfg), size, size, rate, warmup, benchtime)
+		event := measure(name("electrical"), electrical.New(ecfg), size, size, rate, warmup, benchtime)
+		event.BaselineNsPerCycle = dense.NsPerCycle
+		event.BaselineAllocs = dense.AllocsPerCycle
+		event.Speedup = dense.NsPerCycle / event.NsPerCycle
+
+		rep.Entries = append(rep.Entries, opt, dense, event)
+		rep.Speedups = append(rep.Speedups, scaleSpeedup{
+			Width: size, Height: size, Nodes: size * size,
+			DenseNs: dense.NsPerCycle, EventNs: event.NsPerCycle,
+			EventSpeedup: event.Speedup,
+		})
+		fmt.Printf("%2dx%-2d  optical %8.0f ns/cycle   electrical dense %9.0f ns/cycle   event %8.0f ns/cycle   %6.2fx   %.2f allocs/cycle\n",
+			size, size, opt.NsPerCycle, dense.NsPerCycle, event.NsPerCycle, event.Speedup, event.AllocsPerCycle)
+	}
+	writeReport(out, rep)
+}
+
+func main() {
+	out := flag.String("out", "", "output path for the JSON report (default BENCH_kernel.json, or BENCH_scale.json with -scale)")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "measurement time per kernel entry")
+	rate := flag.Float64("rate", 0.10, "injection rate per node per cycle (default mode)")
+	scale := flag.Bool("scale", false, "run the mesh-size scaling sweep instead of the default report")
+	scaleRate := flag.Float64("scalerate", 0.002, "injection rate per node per cycle (-scale mode)")
+	maxSize := flag.Int("maxsize", 64, "largest mesh side in the -scale sweep")
+	flag.Parse()
+
+	if *scale {
+		path := *out
+		if path == "" {
+			path = "BENCH_scale.json"
+		}
+		runScale(path, *scaleRate, *benchtime, *maxSize)
+		return
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_kernel.json"
+	}
+	runDefault(path, *rate, *benchtime)
 }

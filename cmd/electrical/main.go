@@ -27,6 +27,8 @@ func main() {
 	rate := flag.Float64("rate", 0.05, "injection rate (packets/node/cycle)")
 	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
 	delay := flag.Int("delay", 3, "per-hop router delay in cycles (2 or 3)")
+	width := flag.Int("width", 8, "mesh width (8x8 through 64x64 supported)")
+	height := flag.Int("height", 8, "mesh height")
 	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
 	seed := flag.Int64("seed", 1, "random seed")
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
@@ -34,6 +36,7 @@ func main() {
 	flag.Parse()
 
 	cfg := electrical.DefaultConfig()
+	cfg.Width, cfg.Height = *width, *height
 	cfg.RouterDelay = *delay
 	cfg.Seed = *seed
 	cfg.LossTimeout = *lossTimeout
@@ -66,7 +69,7 @@ func main() {
 		}
 		fmt.Printf("trace: %d messages, makespan %d cycles\n", len(tr.Messages), res.Makespan)
 	} else {
-		pattern, err := patternByName(*trafficName)
+		pattern, err := patternByName(*trafficName, net.Nodes())
 		if err != nil {
 			fail(err)
 		}
@@ -87,18 +90,18 @@ func main() {
 	}
 }
 
-func patternByName(name string) (traffic.Pattern, error) {
+func patternByName(name string, nodes int) (traffic.Pattern, error) {
 	switch name {
 	case "Uniform":
-		return traffic.UniformRandom(64, 7), nil
+		return traffic.UniformRandom(nodes, 7), nil
 	case "BitComp":
-		return traffic.BitComplement(64), nil
+		return traffic.BitComplement(nodes), nil
 	case "BitRev":
-		return traffic.BitReverse(64), nil
+		return traffic.BitReverse(nodes), nil
 	case "Shuffle":
-		return traffic.Shuffle(64), nil
+		return traffic.Shuffle(nodes), nil
 	case "Transpose":
-		return traffic.Transpose(64), nil
+		return traffic.Transpose(nodes), nil
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
 	}

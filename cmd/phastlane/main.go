@@ -30,6 +30,8 @@ func main() {
 	rate := flag.Float64("rate", 0.05, "injection rate (packets/node/cycle)")
 	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
 	hops := flag.Int("hops", 4, "max hops per cycle (4, 5, or 8)")
+	width := flag.Int("width", 8, "mesh width (8x8 through 64x64 supported)")
+	height := flag.Int("height", 8, "mesh height")
 	buffers := flag.Int("buffers", 10, "electrical buffer entries per port (-1 = infinite)")
 	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -39,6 +41,7 @@ func main() {
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
+	cfg.Width, cfg.Height = *width, *height
 	cfg.MaxHops = *hops
 	cfg.BufferEntries = *buffers
 	cfg.Seed = *seed
@@ -78,7 +81,7 @@ func main() {
 			}
 		}
 	} else {
-		pattern, err := patternByName(*trafficName)
+		pattern, err := patternByName(*trafficName, net.Nodes())
 		if err != nil {
 			fail(err)
 		}
@@ -90,18 +93,18 @@ func main() {
 	report(res, net.Nodes())
 }
 
-func patternByName(name string) (traffic.Pattern, error) {
+func patternByName(name string, nodes int) (traffic.Pattern, error) {
 	switch name {
 	case "Uniform":
-		return traffic.UniformRandom(64, 7), nil
+		return traffic.UniformRandom(nodes, 7), nil
 	case "BitComp":
-		return traffic.BitComplement(64), nil
+		return traffic.BitComplement(nodes), nil
 	case "BitRev":
-		return traffic.BitReverse(64), nil
+		return traffic.BitReverse(nodes), nil
 	case "Shuffle":
-		return traffic.Shuffle(64), nil
+		return traffic.Shuffle(nodes), nil
 	case "Transpose":
-		return traffic.Transpose(64), nil
+		return traffic.Transpose(nodes), nil
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
 	}

@@ -5,6 +5,13 @@
 // per-hop router latency (pipeline speculation and route lookahead
 // assumed), input speedup 4, direct 1-cycle ejection that bypasses the
 // crossbar, and Virtual Circuit Tree Multicasting for broadcasts.
+//
+// The simulator runs on an event-driven kernel: every per-cycle pipeline
+// phase walks only the routers that currently hold work (occupied VCs or
+// queued NIC entries), so idle routers and empty VCs cost nothing. The
+// historical walk-every-router-every-cycle loop is preserved behind
+// NewReference as the dense reference implementation the differential
+// equivalence suite checks the kernel against (see activeset.go).
 package electrical
 
 import (
@@ -67,7 +74,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. The mesh radix is unbounded
+// above: the baseline scales to 32x32 and 64x64 meshes (the scaling-study
+// configurations) with per-cycle cost proportional to active routers, not
+// mesh size.
 func (c Config) Validate() error {
 	if c.Width < 2 || c.Height < 2 {
 		return fmt.Errorf("electrical: mesh %dx%d too small", c.Width, c.Height)
@@ -165,6 +175,19 @@ type Network struct {
 	// tracer receives router events when set (SetTracer).
 	tracer func(obs.Event)
 
+	// Event-driven kernel state (activeset.go). dense selects the
+	// reference walk-every-router loop (NewReference); allNodes is that
+	// walk's 0..Nodes-1 order. occ counts occupied VCs per router;
+	// listed, active, activeAdd and activeScratch implement the sorted
+	// active set with O(changed routers) maintenance.
+	dense         bool
+	allNodes      []mesh.NodeID
+	occ           []int32
+	listed        []bool
+	active        []mesh.NodeID
+	activeAdd     []mesh.NodeID
+	activeScratch []mesh.NodeID
+
 	// Fault injection and the delivery watchdog (fault.go). faults is
 	// nil unless a plan is armed; watchEvery > 0 arms the watchdog.
 	faults      *fault.Injector
@@ -199,8 +222,14 @@ func (n *Network) emit(kind obs.Kind, msgID uint64, node mesh.NodeID, dir mesh.D
 	}
 }
 
-// New builds a baseline network; it panics on invalid configuration.
+// New builds a baseline network on the event-driven kernel; it panics on
+// invalid configuration.
 func New(cfg Config) *Network {
+	return newNetwork(cfg, false)
+}
+
+// newNetwork is the shared constructor behind New and NewReference.
+func newNetwork(cfg Config, dense bool) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -215,11 +244,29 @@ func New(cfg Config) *Network {
 		bcast:   make([]*vctm.Tree, m.Nodes()),
 		vcReqs:  make([]bool, mesh.NumDirs*cfg.VCs),
 		vcFree:  make([]bool, cfg.VCs),
+		dense:   dense,
+		occ:     make([]int32, m.Nodes()),
+		listed:  make([]bool, m.Nodes()),
+	}
+	if dense {
+		n.allNodes = make([]mesh.NodeID, m.Nodes())
+		for i := range n.allNodes {
+			n.allNodes[i] = mesh.NodeID(i)
+		}
 	}
 	for i := range n.routers {
 		r := &n.routers[i]
 		for p := 0; p < mesh.NumDirs; p++ {
 			r.vcs[p] = make([]vcState, cfg.VCs)
+			// Pre-size every branch list so a packet's first visit to a
+			// cold VC never allocates: at low rates the working set of
+			// (router, port, VC) states grows for thousands of cycles,
+			// and lazily-grown slices would show up as a steady
+			// allocation trickle. A packet forks into at most one branch
+			// per link direction.
+			for v := range r.vcs[p] {
+				r.vcs[p][v].branches = make([]branch, 0, mesh.NumLinkDirs)
+			}
 		}
 		// The NIC queue is bounded; give it its full backing up front.
 		r.nic = make([]*epacket, 0, cfg.NICEntries)
@@ -257,22 +304,22 @@ func (n *Network) NICFree(node mesh.NodeID) int {
 	return f
 }
 
-// Quiescent implements sim.Network.
+// Quiescent implements sim.Network. Any router holding work is listed in
+// the active set (the busy-implies-listed invariant both kernels
+// maintain), so only listed routers need checking — O(active), not
+// O(mesh).
 func (n *Network) Quiescent() bool {
 	if len(n.transit) > 0 {
 		return false
 	}
-	for i := range n.routers {
-		r := &n.routers[i]
-		if len(r.nic) > 0 {
+	for _, node := range n.active {
+		if n.busy(node) {
 			return false
 		}
-		for p := 0; p < mesh.NumDirs; p++ {
-			for v := range r.vcs[p] {
-				if !r.vcs[p][v].empty() {
-					return false
-				}
-			}
+	}
+	for _, node := range n.activeAdd {
+		if n.busy(node) {
+			return false
 		}
 	}
 	return true
@@ -328,7 +375,8 @@ func (n *Network) broadcastTree(src mesh.NodeID, dsts []mesh.NodeID) *vctm.Tree 
 }
 
 // Inject implements sim.Network. Broadcasts become a single packet with a
-// cached VCTM tree, replicated at branch routers.
+// cached VCTM tree, replicated at branch routers. The source router joins
+// the active set.
 func (n *Network) Inject(m sim.Message) {
 	if free := n.NICFree(m.Src); free <= 0 {
 		panic(fmt.Sprintf("electrical: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
@@ -360,6 +408,7 @@ func (n *Network) Inject(m sim.Message) {
 		panic("electrical: message without destinations")
 	}
 	n.routers[m.Src].nic = append(n.routers[m.Src].nic, p)
+	n.activate(m.Src)
 }
 
 // fill loads a packet into an empty VC, computing its replication set (the
@@ -388,22 +437,49 @@ func (n *Network) fill(vc *vcState, p *epacket, at mesh.NodeID) {
 	vc.branches = bs
 	vc.availAt = 0
 	vc.reserved = false
+	n.occ[at]++
 }
 
 // Step implements sim.Network: apply link arrivals, eject, inject, run VC
 // allocation then switch allocation, launch winners, age VCs. Deliveries
 // are appended to buf (see sim.Network for the buffer-ownership contract).
+//
+// The five pipeline phases run over a node list in ascending ID order: the
+// full mesh under the dense reference kernel, the sorted active set under
+// the event-driven kernel. Because every phase already no-ops on routers
+// without work, the two walks are behaviourally identical — the
+// differential equivalence suite pins this, event for event.
 func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 	if n.watchEvery > 0 {
 		n.faultStep()
 	}
-	// 1. Link arrivals from the previous cycle occupy their reserved
-	// VCs.
+	n.applyArrivals()
+	var nodes []mesh.NodeID
+	if n.dense {
+		nodes = n.allNodes
+	} else {
+		nodes = n.mergeActive()
+	}
+	buf = n.ejectPhase(buf, nodes)
+	n.injectPhase(nodes)
+	n.allocateVCs(nodes)
+	n.allocateSwitch(nodes)
+	n.agePhase(nodes)
+	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
+	n.cycle++
+	return buf
+}
+
+// applyArrivals moves last cycle's link traversals into their reserved
+// downstream VCs (phase 1). Receiving routers join the active set before
+// the phase walk of this cycle sees them.
+func (n *Network) applyArrivals() {
 	for _, a := range n.transit {
 		vc := &n.routers[a.node].vcs[a.port][a.vc]
 		if !vc.empty() || !vc.reserved {
 			panic("electrical: arrival into non-reserved VC")
 		}
+		n.activate(a.node)
 		n.fill(vc, a.pkt, a.node)
 		n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
 		n.emit(obs.KindBuffer, a.pkt.msgID, a.node, a.port)
@@ -415,11 +491,13 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 		}
 	}
 	n.transit = n.transit[:0]
+}
 
-	// 2. Ejection: one cycle after entering the router, bypassing the
-	// crossbar.
-	for node := range n.routers {
-		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+// ejectPhase delivers packets to their local nodes one cycle after they
+// entered the router, bypassing the crossbar (phase 2).
+func (n *Network) ejectPhase(buf []sim.Delivery, nodes []mesh.NodeID) []sim.Delivery {
+	for _, node := range nodes {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, node) {
 			continue
 		}
 		r := &n.routers[node]
@@ -429,23 +507,26 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 				if vc.empty() || !vc.deliver || vc.age < 1 {
 					continue
 				}
-				buf = append(buf, sim.Delivery{MsgID: vc.pkt.msgID, Dst: mesh.NodeID(node)})
+				buf = append(buf, sim.Delivery{MsgID: vc.pkt.msgID, Dst: node})
 				n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ
-				n.emit(obs.KindEject, vc.pkt.msgID, mesh.NodeID(node), mesh.Local)
+				n.emit(obs.KindEject, vc.pkt.msgID, node, mesh.Local)
 				vc.deliver = false
-				n.freeIfDone(vc)
+				n.freeIfDone(node, vc)
 			}
 		}
 	}
+	return buf
+}
 
-	// 3. Injection: NIC head moves into a free local-port VC (one per
-	// node per cycle).
-	for node := range n.routers {
+// injectPhase moves each NIC head into a free local-port VC, one per node
+// per cycle (phase 3).
+func (n *Network) injectPhase(nodes []mesh.NodeID) {
+	for _, node := range nodes {
 		r := &n.routers[node]
 		if len(r.nic) == 0 {
 			continue
 		}
-		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, node) {
 			continue
 		}
 		for v := range r.vcs[mesh.Local] {
@@ -456,30 +537,25 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 			pkt := r.nic[0]
 			copy(r.nic, r.nic[1:])
 			r.nic = r.nic[:len(r.nic)-1]
-			n.fill(vc, pkt, mesh.NodeID(node))
+			n.fill(vc, pkt, node)
 			n.run.ElectricalEnergyPJ += n.energy.BufferWritePJ
-			n.emit(obs.KindLaunch, pkt.msgID, mesh.NodeID(node), mesh.Local)
+			n.emit(obs.KindLaunch, pkt.msgID, node, mesh.Local)
 			if pkt.tree != nil && len(vc.branches) > 1 {
-				n.emit(obs.KindTreeFork, pkt.msgID, mesh.NodeID(node), mesh.Local)
+				n.emit(obs.KindTreeFork, pkt.msgID, node, mesh.Local)
 			}
 			if n.faults != nil {
-				n.reapStranded(vc, mesh.NodeID(node))
+				n.reapStranded(vc, node)
 			}
 			break
 		}
 	}
+}
 
-	// 4. VC allocation: per output port, match requesting branches to
-	// free downstream VCs.
-	n.allocateVCs()
-
-	// 5. Switch allocation and traversal.
-	n.allocateSwitch()
-
-	// 6. Age and leak. A stuck router's pipeline is frozen, so its VCs
-	// do not age while the fault is active.
-	for node := range n.routers {
-		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+// agePhase ages occupied VCs (phase 6). A stuck router's pipeline is
+// frozen, so its VCs do not age while the fault is active.
+func (n *Network) agePhase(nodes []mesh.NodeID) {
+	for _, node := range nodes {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, node) {
 			continue
 		}
 		r := &n.routers[node]
@@ -491,16 +567,14 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 			}
 		}
 	}
-	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
-	n.cycle++
-	return buf
 }
 
 // freeIfDone releases a VC whose packet has no pending work; the credit
 // returns to upstream VA one cycle later (wait-for-tail-credit). The VC's
 // reference to the packet drops, recycling it once no transit arrival
-// holds it either.
-func (n *Network) freeIfDone(vc *vcState) {
+// holds it either. node is the router owning vc (the active-set occupancy
+// count it decrements).
+func (n *Network) freeIfDone(node mesh.NodeID, vc *vcState) {
 	if vc.deliver || len(vc.branches) > 0 {
 		return
 	}
@@ -508,28 +582,29 @@ func (n *Network) freeIfDone(vc *vcState) {
 	vc.pkt = nil
 	vc.age = 0
 	vc.availAt = n.cycle + 1
+	n.occ[node]--
 }
 
-// allocateVCs runs the per-output-port iSLIP VC allocators. Requests and
-// free downstream VCs are gathered up front (into network scratch) so idle
-// ports skip the matching entirely.
-func (n *Network) allocateVCs() {
+// allocateVCs runs the per-output-port iSLIP VC allocators (phase 4).
+// Requests and free downstream VCs are gathered up front (into network
+// scratch) so idle ports skip the matching entirely.
+func (n *Network) allocateVCs(nodes []mesh.NodeID) {
 	reqs := n.vcReqs
 	free := n.vcFree
-	for node := range n.routers {
-		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+	for _, node := range nodes {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, node) {
 			continue
 		}
 		r := &n.routers[node]
 		for out := 0; out < mesh.NumLinkDirs; out++ {
 			dir := mesh.Dir(out)
-			next, ok := n.m.Neighbor(mesh.NodeID(node), dir)
+			next, ok := n.m.Neighbor(node, dir)
 			if !ok {
 				continue
 			}
 			// No reservations across a dead link; packets wanting it
 			// wait (multicast) or get rerouted (rerouteFaults).
-			if n.faults != nil && n.faults.LinkDown(n.cycle, mesh.NodeID(node), dir) {
+			if n.faults != nil && n.faults.LinkDown(n.cycle, node, dir) {
 				continue
 			}
 			down := &n.routers[next]
@@ -570,7 +645,7 @@ func (n *Network) allocateVCs() {
 				// Credit starvation: packets want this output but
 				// every downstream VC is occupied or inside its
 				// credit round-trip.
-				n.emit(obs.KindCreditStall, 0, mesh.NodeID(node), dir)
+				n.emit(obs.KindCreditStall, 0, node, dir)
 				continue
 			}
 			match := r.va[out].Match(func(in, outVC int) bool {
@@ -590,18 +665,18 @@ func (n *Network) allocateVCs() {
 				}
 				down.vcs[inPort][outVC].reserved = true
 				n.run.ElectricalEnergyPJ += n.energy.ArbitrationPJ
-				n.emit(obs.KindVCAlloc, vc.pkt.msgID, mesh.NodeID(node), dir)
+				n.emit(obs.KindVCAlloc, vc.pkt.msgID, node, dir)
 			}
 		}
 	}
 }
 
 // allocateSwitch runs the iSLIP switch allocator (input speedup 4) and
-// launches the granted flits onto their links.
-func (n *Network) allocateSwitch() {
+// launches the granted flits onto their links (phase 5).
+func (n *Network) allocateSwitch(nodes []mesh.NodeID) {
 	ready := n.cfg.RouterDelay - 1
-	for node := range n.routers {
-		if n.faults != nil && n.faults.NodeStuck(n.cycle, mesh.NodeID(node)) {
+	for _, node := range nodes {
+		if n.faults != nil && n.faults.NodeStuck(n.cycle, node) {
 			continue
 		}
 		r := &n.routers[node]
@@ -612,7 +687,7 @@ func (n *Network) allocateSwitch() {
 		// heals or the watchdog reclaims the packet.
 		match := r.sa.Match(func(in, out int) bool {
 			dir := mesh.Dir(out)
-			if n.faults != nil && n.faults.LinkDown(n.cycle, mesh.NodeID(node), dir) {
+			if n.faults != nil && n.faults.LinkDown(n.cycle, node, dir) {
 				return false
 			}
 			for v := range r.vcs[in] {
@@ -652,7 +727,7 @@ func (n *Network) allocateSwitch() {
 			}
 			vc := &r.vcs[in][bestV]
 			b := vc.branches[bestB]
-			next, ok := n.m.Neighbor(mesh.NodeID(node), dir)
+			next, ok := n.m.Neighbor(node, dir)
 			if !ok {
 				panic("electrical: traversal off mesh edge")
 			}
@@ -664,8 +739,8 @@ func (n *Network) allocateSwitch() {
 			n.run.ElectricalEnergyPJ += n.energy.BufferReadPJ + n.energy.CrossbarPJ +
 				n.energy.LinkPJ + n.energy.ArbitrationPJ
 			n.run.LinkTraversals++
-			n.emit(obs.KindSwitch, vc.pkt.msgID, mesh.NodeID(node), dir)
-			n.freeIfDone(vc)
+			n.emit(obs.KindSwitch, vc.pkt.msgID, node, dir)
+			n.freeIfDone(node, vc)
 		}
 	}
 }

@@ -167,7 +167,7 @@ func (n *Network) losePacket(vc *vcState, at mesh.NodeID, reason sim.LossReason)
 	n.reportLoss(vc.pkt.msgID, at, count, reason)
 	vc.deliver = false
 	vc.branches = vc.branches[:0]
-	n.freeIfDone(vc)
+	n.freeIfDone(at, vc)
 }
 
 // branchTarget resolves the neighbor a branch points at.

@@ -1,0 +1,118 @@
+package electrical
+
+// FuzzElectricalEquivalence is the coverage-guided arm of the
+// differential suite: the fuzz input is decoded into a configuration, an
+// optional fault plan with activation windows, and an injection schedule
+// (bursts, idle gaps, multicasts), and the event-driven kernel must stay
+// bit-identical to the dense reference over the whole run — deliveries,
+// events, loss accounting and final counters. The seed corpus under
+// testdata/fuzz covers the structural corners (single-VC credit stalls,
+// stuck routers, loss timeouts, multicast trees); CI replays it as a
+// normal test.
+
+import (
+	"testing"
+
+	"phastlane/internal/fault"
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+	"phastlane/internal/sim"
+)
+
+// fuzzEquivalence decodes data and drives one lockstep run. The decoder
+// is total: every byte string yields a valid scenario.
+func fuzzEquivalence(t *testing.T, data []byte) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	cfg := Config{
+		Width:        2 + int(next())%5,
+		Height:       2 + int(next())%5,
+		VCs:          1 + int(next())%4,
+		RouterDelay:  2 + int(next())%2,
+		InputSpeedup: 1 + int(next())%4,
+		Iterations:   1 + int(next())%2,
+		NICEntries:   1 + int(next())%5,
+		Seed:         int64(next()),
+	}
+	nodes := cfg.Width * cfg.Height
+	if fb := next(); fb%2 == 1 {
+		plan := fault.RandomPlan(int64(fb), cfg.Width, cfg.Height, fault.RandomSpec{
+			DeadLinks:    int(next()) % 3,
+			StuckRouters: int(next()) % 2,
+			SlotFaults:   int(next()) % 3,
+		})
+		for i := range plan.Faults {
+			if w := next(); w%2 == 1 {
+				from := int64(w) % 100
+				plan.Faults[i].From = from
+				plan.Faults[i].Until = from + 30 + int64(next())%150
+			}
+		}
+		if len(plan.Faults) > 0 {
+			cfg.Faults = plan
+		}
+	}
+	if tb := next(); tb%2 == 1 {
+		cfg.LossTimeout = 100 + int64(tb)*3
+	}
+
+	d := newDiff(cfg)
+	var id uint64
+	events := 0
+	for pos < len(data) && events < 400 {
+		kind, a, b := next(), next(), next()
+		events++
+		if kind%8 == 0 {
+			// Idle gap: the active set drains while cycles pass.
+			for g := int(a) % 48; g >= 0; g-- {
+				d.step(t)
+			}
+			continue
+		}
+		src := mesh.NodeID(int(a) % nodes)
+		id++
+		m := sim.Message{ID: id, Src: src, Op: packet.OpSynthetic}
+		if kind%16 == 1 {
+			// Multicast to a deterministic pseudo-random subset.
+			for n := 0; n < nodes; n++ {
+				if mesh.NodeID(n) != src && (n*int(kind)+int(b))%3 == 0 {
+					m.Dsts = append(m.Dsts, mesh.NodeID(n))
+				}
+			}
+		}
+		if len(m.Dsts) == 0 {
+			dst := mesh.NodeID(int(b) % nodes)
+			if dst == src {
+				dst = mesh.NodeID((int(dst) + 1) % nodes)
+			}
+			m.Dsts = []mesh.NodeID{dst}
+		}
+		if !d.inject(t, m) {
+			id--
+		}
+		d.step(t)
+	}
+	for i := 0; i < 20000 && !(d.ev.Quiescent() && d.ref.Quiescent()); i++ {
+		d.step(t)
+	}
+	d.finish(t)
+}
+
+func FuzzElectricalEquivalence(f *testing.F) {
+	// Structural corners mirrored in testdata/fuzz: defaults, a
+	// single-VC mesh under back-to-back load, a faulted run with stuck
+	// routers and windows, multicast bursts, and loss-timeout reaping.
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 0, 1, 3, 1, 4, 7, 0, 0, 3, 0, 0, 5, 0, 1, 9, 0, 2, 17, 0, 3})
+	f.Add([]byte{2, 2, 0, 0, 0, 0, 0, 9, 1, 2, 1, 2, 91, 255, 3, 1, 0, 7, 5, 2, 12, 30, 0, 3, 3, 9, 1, 22})
+	f.Add([]byte{4, 4, 3, 1, 3, 1, 4, 13, 0, 201, 17, 5, 40, 17, 8, 41, 1, 60, 2, 9})
+	f.Add([]byte{3, 3, 1, 0, 2, 0, 2, 31, 1, 2, 1, 2, 7, 77, 9, 1, 30, 11, 2, 15, 8, 40, 0, 1, 23, 3, 30})
+	f.Fuzz(fuzzEquivalence)
+}

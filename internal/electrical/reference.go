@@ -1,0 +1,19 @@
+package electrical
+
+// NewReference builds a baseline network on the dense reference kernel:
+// every per-cycle pipeline phase walks every router of the mesh, exactly
+// as the simulator did before the event-driven rework. The reference
+// exists for differential testing only — the equivalence suite and
+// FuzzElectricalEquivalence drive it in lockstep with the event-driven
+// kernel (New) over randomized configs, traffic and fault plans, and
+// assert bit-identical event streams, deliveries, loss accounting and
+// counters. It is deliberately kept O(mesh) per cycle; production callers
+// want New.
+//
+// It panics on invalid configuration, like New.
+func NewReference(cfg Config) *Network {
+	return newNetwork(cfg, true)
+}
+
+// Reference reports whether the network runs the dense reference kernel.
+func (n *Network) Reference() bool { return n.dense }

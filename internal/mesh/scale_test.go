@@ -1,0 +1,60 @@
+package mesh
+
+// Large-mesh route coverage: dimension-order routing must produce exact
+// X-then-Y walks at 32×32 and 64×64, where routes run an order of
+// magnitude past the 8×8 diameters the simulator grew up on.
+
+import "testing"
+
+// walkDimOrder follows RouteDir hop by hop from src and returns the node
+// reached and the number of links crossed.
+func walkDimOrder(t *testing.T, m *Mesh, src, dst NodeID) (NodeID, int) {
+	t.Helper()
+	cur := src
+	hops := 0
+	for cur != dst {
+		d := m.RouteDir(cur, dst, 0)
+		next, ok := m.Neighbor(cur, d)
+		if !ok {
+			t.Fatalf("route %d→%d walks off the edge at %d going %v", src, dst, cur, d)
+		}
+		cur = next
+		hops++
+		if hops > m.Nodes() {
+			t.Fatalf("route %d→%d does not terminate", src, dst)
+		}
+	}
+	return cur, hops
+}
+
+func TestLargeMeshRoutes(t *testing.T) {
+	for _, size := range []int{32, 64} {
+		m := New(size, size)
+		n := NodeID(size*size - 1)
+		for _, tc := range []struct{ src, dst NodeID }{
+			{0, n},                         // full diagonal
+			{n, 0},                         // and back
+			{0, NodeID(size - 1)},          // one full row
+			{0, NodeID(size * (size - 1))}, // one full column
+			{NodeID(size + 1), NodeID(size*size - size - 2)}, // interior diagonal
+		} {
+			got, hops := walkDimOrder(t, m, tc.src, tc.dst)
+			if got != tc.dst {
+				t.Errorf("%d: route %d→%d ends at %d", size, tc.src, tc.dst, got)
+			}
+			if want := m.HopDistance(tc.src, tc.dst); hops != want {
+				t.Errorf("%d: route %d→%d takes %d hops, want %d", size, tc.src, tc.dst, hops, want)
+			}
+		}
+		// X-before-Y order: the first leg of the full diagonal moves only
+		// along X. RouteDir indexes the precomputed dimension-order route.
+		for i := 0; i < size-1; i++ {
+			if d := m.RouteDir(0, n, i); d != East {
+				t.Fatalf("%d: diagonal hop %d is %v, want East (X first)", size, i, d)
+			}
+		}
+		if d := m.RouteDir(0, n, size-1); d != South && d != North {
+			t.Errorf("%d: diagonal hop %d is %v, want a Y move", size, size-1, d)
+		}
+	}
+}

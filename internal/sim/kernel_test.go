@@ -85,3 +85,13 @@ func TestOpticalStepZeroAlloc(t *testing.T) {
 func TestElectricalStepZeroAlloc(t *testing.T) {
 	stepZeroAlloc(t, electrical.New(electrical.DefaultConfig()), 500)
 }
+
+// TestElectricalStepZeroAlloc32 holds the zero-allocation contract on a
+// 32×32 mesh: the event-driven kernel's active-set maintenance (merge,
+// scratch arrays, pools) must stay allocation-free once the in-flight
+// population stabilises, not just at the 8×8 size the pools grew up on.
+func TestElectricalStepZeroAlloc32(t *testing.T) {
+	cfg := electrical.DefaultConfig()
+	cfg.Width, cfg.Height = 32, 32
+	stepZeroAlloc(t, electrical.New(cfg), 800)
+}

@@ -30,6 +30,14 @@ func stressPlan(seed int64) *fault.Plan {
 // quiescence because the delivery layer resolves everything it abandons.
 func stressAccounting(t *testing.T, net sim.Network, seed int64) {
 	t.Helper()
+	stressAccountingLoad(t, net, seed, 200, 40)
+}
+
+// stressAccountingLoad is stressAccounting with the load knobs exposed:
+// injectCycles of bursting with pct% injection probability per node per
+// cycle. Large meshes use a lighter mix to keep the test time sane.
+func stressAccountingLoad(t *testing.T, net sim.Network, seed int64, injectCycles, pct int) {
+	t.Helper()
 	type acct struct{ delivered, lost int }
 	accts := []acct{{}} // index by message ID; ID 0 unused
 	net.(sim.LossReporting).SetLossHandler(func(l sim.Loss) {
@@ -39,9 +47,10 @@ func stressAccounting(t *testing.T, net sim.Network, seed int64) {
 		accts[l.MsgID].lost += l.Count
 	})
 
-	// Deterministic traffic source: ~40% injection probability per node
-	// per cycle, uniform destinations. Far past the knee for both
-	// simulators on an 8x8 mesh, especially with faulted hardware.
+	// Deterministic traffic source: pct% injection probability per node
+	// per cycle, uniform destinations. The default 40% is far past the
+	// knee for both simulators on an 8x8 mesh, especially with faulted
+	// hardware.
 	rng := uint64(seed)*0x9e3779b97f4a7c15 + 1
 	next := func() uint64 {
 		rng = rng*6364136223846793005 + 1442695040888963407
@@ -59,10 +68,9 @@ func stressAccounting(t *testing.T, net sim.Network, seed int64) {
 	}
 
 	nodes := uint64(net.Nodes())
-	const injectCycles = 200
 	for c := 0; c < injectCycles; c++ {
 		for n := 0; n < net.Nodes(); n++ {
-			if next()%100 >= 40 {
+			if next()%100 >= uint64(pct) {
 				continue
 			}
 			src := mesh.NodeID(n)
