@@ -23,6 +23,14 @@
 //	bench -benchtime 10s      # longer measurement
 //	bench -out report.json    # alternate output path
 //	bench -scale              # mesh-size sweep, writes BENCH_scale.json
+//	bench -check              # regression gate vs the committed report
+//	bench -check -tolerance 0.25
+//	bench -history BENCH_history.jsonl
+//
+// With -check, bench measures as usual but compares against the
+// committed report instead of overwriting it: any kernel whose ns/cycle
+// or allocs/cycle regresses past the tolerance fails the run with exit
+// code 1. -history appends every run to a JSONL log for trend analysis.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"phastlane/internal/mesh"
 	"phastlane/internal/packet"
 	"phastlane/internal/sim"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/traffic"
 )
 
@@ -168,9 +177,87 @@ func writeReport(path string, doc any) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// historyEntry is one JSONL line of the -history log.
+type historyEntry struct {
+	Time       string         `json:"time"`
+	Mode       string         `json:"mode"` // "kernel" or "scale"
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Kernels    []kernelResult `json:"kernels"`
+}
+
+// appendHistory appends the run to the JSONL history log.
+func appendHistory(path, mode string, kernels []kernelResult) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(historyEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Mode:       mode,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Kernels:    kernels,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %s\n", path)
+}
+
+// checkAgainst compares the freshly measured kernels against the
+// committed report at path, by kernel name. A kernel regresses when its
+// ns/cycle exceeds the baseline by more than the tolerance fraction, or
+// its allocs/cycle does (with a small absolute floor so a 0-alloc
+// baseline tolerates measurement noise, not a real leak). Returns false
+// on any regression.
+func checkAgainst(path string, current []kernelResult, tol float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: -check baseline: %v\n", err)
+		os.Exit(1)
+	}
+	// Both report shapes carry their kernels under a different key.
+	var doc struct {
+		Kernels []kernelResult `json:"kernels"`
+		Entries []kernelResult `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: -check baseline %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	base := make(map[string]kernelResult)
+	for _, k := range append(doc.Kernels, doc.Entries...) {
+		base[k.Name] = k
+	}
+
+	const allocFloor = 0.05 // absolute allocs/cycle slack on top of the fraction
+	ok := true
+	for _, cur := range current {
+		b, found := base[cur.Name]
+		if !found {
+			fmt.Printf("CHECK %-22s no baseline entry, skipped\n", cur.Name)
+			continue
+		}
+		nsLimit := b.NsPerCycle * (1 + tol)
+		allocLimit := b.AllocsPerCycle*(1+tol) + allocFloor
+		verdict := "ok"
+		if cur.NsPerCycle > nsLimit || cur.AllocsPerCycle > allocLimit {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("CHECK %-22s ns/cycle %9.0f vs %9.0f (limit %9.0f)  allocs %5.2f vs %5.2f (limit %5.2f)  %s\n",
+			cur.Name, cur.NsPerCycle, b.NsPerCycle, nsLimit,
+			cur.AllocsPerCycle, b.AllocsPerCycle, allocLimit, verdict)
+	}
+	return ok
+}
+
 // runDefault measures both simulators at the default 8×8 size against the
-// pre-redesign baselines and writes BENCH_kernel.json.
-func runDefault(out string, rate float64, benchtime time.Duration) {
+// pre-redesign baselines and returns the kernels, writing the report to
+// out when it is non-empty.
+func runDefault(out string, rate float64, benchtime time.Duration) []kernelResult {
 	rep := report{
 		BenchtimeSec: benchtime.Seconds(),
 		Rate:         rate,
@@ -193,13 +280,17 @@ func runDefault(out string, rate float64, benchtime time.Duration) {
 		fmt.Printf("%-11s %10.0f cycles/sec  %8.0f ns/cycle  %6.2f allocs/cycle  %5.2fx vs pre-redesign\n",
 			k.Name, k.CyclesPerSec, k.NsPerCycle, k.AllocsPerCycle, k.Speedup)
 	}
-	writeReport(out, rep)
+	if out != "" {
+		writeReport(out, rep)
+	}
+	return rep.Kernels
 }
 
 // runScale sweeps mesh sizes at a low injection rate — the regime the
 // event-driven kernel exists for, where nearly every router is idle in
-// any given cycle — and writes BENCH_scale.json.
-func runScale(out string, rate float64, benchtime time.Duration, maxSize int) {
+// any given cycle — and returns the entries, writing BENCH_scale.json
+// when out is non-empty.
+func runScale(out string, rate float64, benchtime time.Duration, maxSize int) []kernelResult {
 	rep := scaleReport{
 		BenchtimeSec: benchtime.Seconds(),
 		Rate:         rate,
@@ -235,7 +326,10 @@ func runScale(out string, rate float64, benchtime time.Duration, maxSize int) {
 		fmt.Printf("%2dx%-2d  optical %8.0f ns/cycle   electrical dense %9.0f ns/cycle   event %8.0f ns/cycle   %6.2fx   %.2f allocs/cycle\n",
 			size, size, opt.NsPerCycle, dense.NsPerCycle, event.NsPerCycle, event.Speedup, event.AllocsPerCycle)
 	}
-	writeReport(out, rep)
+	if out != "" {
+		writeReport(out, rep)
+	}
+	return rep.Entries
 }
 
 func main() {
@@ -245,19 +339,49 @@ func main() {
 	scale := flag.Bool("scale", false, "run the mesh-size scaling sweep instead of the default report")
 	scaleRate := flag.Float64("scalerate", 0.002, "injection rate per node per cycle (-scale mode)")
 	maxSize := flag.Int("maxsize", 64, "largest mesh side in the -scale sweep")
+	check := flag.Bool("check", false, "regression gate: compare against the committed report instead of overwriting it; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "tolerated fractional ns/cycle and allocs/cycle growth in -check mode")
+	baseline := flag.String("baseline", "", "baseline report for -check (default: the report path the run would write)")
+	history := flag.String("history", "", "append this run's measurements to a JSONL history log")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
+	mode, defaultPath := "kernel", "BENCH_kernel.json"
 	if *scale {
-		path := *out
-		if path == "" {
-			path = "BENCH_scale.json"
-		}
-		runScale(path, *scaleRate, *benchtime, *maxSize)
-		return
+		mode, defaultPath = "scale", "BENCH_scale.json"
 	}
 	path := *out
 	if path == "" {
-		path = "BENCH_kernel.json"
+		path = defaultPath
 	}
-	runDefault(path, *rate, *benchtime)
+	writePath := path
+	if *check {
+		// A gate run compares; it never overwrites the committed report.
+		writePath = ""
+	}
+
+	var kernels []kernelResult
+	if *scale {
+		kernels = runScale(writePath, *scaleRate, *benchtime, *maxSize)
+	} else {
+		kernels = runDefault(writePath, *rate, *benchtime)
+	}
+	if *history != "" {
+		appendHistory(*history, mode, kernels)
+	}
+	if *check {
+		basePath := *baseline
+		if basePath == "" {
+			basePath = path
+		}
+		if !checkAgainst(basePath, kernels, *tolerance) {
+			fmt.Fprintf(os.Stderr, "bench: regression against %s (tolerance %.0f%%)\n", basePath, *tolerance*100)
+			os.Exit(1)
+		}
+		fmt.Printf("check passed against %s (tolerance %.0f%%)\n", basePath, *tolerance*100)
+	}
 }

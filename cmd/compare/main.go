@@ -17,6 +17,7 @@ import (
 
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -27,7 +28,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "re-run the uniform point and write a Perfetto trace to this file")
 	metricsOut := flag.String("metrics-out", "", "write the per-node event matrices as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fail(err)
+	}
 
 	results, err := figures.Compare(figures.CompareOpts{
 		Benchmark: *benchmark, Messages: *messages,

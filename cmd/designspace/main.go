@@ -21,6 +21,7 @@ import (
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -28,7 +29,12 @@ func main() {
 	tables := flag.Bool("tables", false, "print only Tables 1-4")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
 	render := func(t *stats.Table) {
 		if *csv {
 			fmt.Print(t.CSV())

@@ -18,6 +18,7 @@ import (
 	"phastlane/internal/fault"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/trace"
 	"phastlane/internal/traffic"
 )
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
 	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
+	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := electrical.DefaultConfig()
@@ -51,6 +53,10 @@ func main() {
 		fail(err)
 	}
 	net := electrical.New(cfg)
+	tel, err := telFlags.StartRun()
+	if err != nil {
+		fail(err)
+	}
 
 	var res sim.Result
 	if *tracePath != "" {
@@ -63,7 +69,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err = sim.RunTrace(net, tr, sim.ReplayConfig{})
+		res, err = sim.RunTrace(net, tr, sim.ReplayConfig{Telemetry: tel})
 		if err != nil {
 			fail(err)
 		}
@@ -75,6 +81,7 @@ func main() {
 		}
 		res = sim.RunRate(net, sim.RateConfig{
 			Pattern: pattern, Rate: *rate, Measure: *measure, Seed: *seed,
+			Telemetry: tel,
 		})
 		fmt.Printf("pattern %s at rate %.3f over %d cycles\n", *trafficName, *rate, *measure)
 	}
@@ -87,6 +94,9 @@ func main() {
 	}
 	if res.Saturated {
 		fmt.Println("NOTE: the network saturated at this load")
+	}
+	if err := telFlags.Finish(tel, os.Stdout); err != nil {
+		fail(err)
 	}
 }
 

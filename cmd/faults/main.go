@@ -31,6 +31,7 @@ import (
 	"phastlane/internal/figures"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/traffic"
 )
 
@@ -57,7 +58,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the sweep as CSV")
 	jsonPath := flag.String("json", "", "also write the sweep report to this JSON file")
 	plots := flag.Bool("plots", false, "render ASCII degradation plots")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fail(err)
+	}
 
 	if *spec != "" {
 		runScenario(*spec, *rate, *warmup, *measure, *seed)

@@ -12,20 +12,20 @@
 //	inspect -trace-out trace.json            # Perfetto trace of both
 //	inspect -metrics-out m.csv -series-out s.csv
 //	inspect -width 4 -height 4 -measure 500  # small mesh, short run
-//	inspect -pprof cpu.out                   # CPU profile of the replay
+//	inspect -telemetry-addr :9090            # live metrics + pprof endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 
 	"phastlane/internal/core"
 	"phastlane/internal/electrical"
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 	"phastlane/internal/sim"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +45,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-node event matrices as CSV to this file")
 	seriesOut := flag.String("series-out", "", "write cycle-windowed time series as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
-	pprofOut := flag.String("pprof", "", "write a CPU profile of the replay to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	flag.Parse()
 
@@ -92,15 +92,10 @@ func main() {
 		fail(fmt.Errorf("unknown -net %q (want both, optical or electrical)", *netFlag))
 	}
 
-	if *pprofOut != "" {
-		f, err := os.Create(*pprofOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
-		}
-		defer pprof.StopCPUProfile()
+	// CPU profiles now come from the shared telemetry endpoint:
+	// curl http://<addr>/debug/pprof/profile?seconds=10 during the replay.
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fail(err)
 	}
 
 	_, err := figures.InspectBundle(opts, exp.Options{Workers: *parallel}, figures.BundleOpts{

@@ -21,6 +21,7 @@ import (
 	"phastlane/internal/packet"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/trace"
 	"phastlane/internal/traffic"
 )
@@ -38,6 +39,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
 	retryLimit := flag.Int("retry-limit", 0, "drop-retry budget per packet (0 = unlimited)")
 	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
+	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -58,6 +60,10 @@ func main() {
 		fail(err)
 	}
 	net := core.New(cfg)
+	tel, err := telFlags.StartRun()
+	if err != nil {
+		fail(err)
+	}
 
 	var res sim.Result
 	if *tracePath != "" {
@@ -70,7 +76,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err = sim.RunTrace(net, tr, sim.ReplayConfig{})
+		res, err = sim.RunTrace(net, tr, sim.ReplayConfig{Telemetry: tel})
 		if err != nil {
 			fail(err)
 		}
@@ -87,10 +93,14 @@ func main() {
 		}
 		res = sim.RunRate(net, sim.RateConfig{
 			Pattern: pattern, Rate: *rate, Measure: *measure, Seed: *seed,
+			Telemetry: tel,
 		})
 		fmt.Printf("pattern %s at rate %.3f over %d cycles\n", *trafficName, *rate, *measure)
 	}
 	report(res, net.Nodes())
+	if err := telFlags.Finish(tel, os.Stdout); err != nil {
+		fail(err)
+	}
 }
 
 func patternByName(name string, nodes int) (traffic.Pattern, error) {

@@ -23,6 +23,7 @@ import (
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -34,7 +35,11 @@ func main() {
 	traceOut := flag.Bool("trace-out", false, "write a Perfetto trace of the inspection stage to <out>/inspect_trace.json")
 	metricsOut := flag.Bool("metrics-out", false, "write per-node event matrices to <out>/inspect_metrics.csv")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for the inspection stage")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fail(err)
+	}
 
 	progress := func(label string) func(done, total int) {
 		if *quiet {

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"phastlane/internal/figures"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +25,12 @@ func main() {
 	messages := flag.Int("messages", 6000, "trace length")
 	seed := flag.Int64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
 
 	pts, err := figures.Sensitivity(figures.SensitivityOpts{
 		Benchmark: *benchmark, Messages: *messages, Seed: *seed,

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"phastlane/internal/figures"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -26,7 +27,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	summary := flag.Bool("summary", false, "print only the headline numbers")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "splash:", err)
+		os.Exit(1)
+	}
 
 	opts := figures.SplashOpts{Messages: *messages, Seed: *seed}
 	if *benchmarks != "" {

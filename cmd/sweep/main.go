@@ -26,6 +26,7 @@ import (
 	"phastlane/internal/figures"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 )
 
 func main() {
@@ -42,7 +43,12 @@ func main() {
 	traceOut := flag.String("trace-out", "", "re-run each curve's knee point and write a Perfetto trace to this file")
 	metricsOut := flag.String("metrics-out", "", "write the knee points' per-node event matrices as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for each curve's knee point")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 
 	opts := figures.Fig9Opts{Warmup: *warmup, Measure: *measure, Seed: *seed, Workers: *parallel}
 	if !*quiet {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"phastlane/internal/coherence"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/trace"
 )
 
@@ -25,7 +26,11 @@ func main() {
 	protocol := flag.String("protocol", "snoopy", "coherence protocol: snoopy (paper) or directory")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	flag.Parse()
+	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+		fail(err)
+	}
 
 	if *list {
 		for _, p := range coherence.Benchmarks() {

@@ -11,6 +11,7 @@ import (
 	"phastlane/internal/power"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 )
 
 // parcel is one physical Phastlane packet: a unicast message or one
@@ -138,6 +139,9 @@ type Network struct {
 	live int
 	// tracer receives router events when set (SetTracer).
 	tracer func(Event)
+	// phases receives sampled per-phase step timings when set
+	// (SetPhases); nil — the default — costs one branch per Step.
+	phases *telemetry.Phases
 
 	// Fault injection and the delivery layer (fault.go). faults is nil
 	// unless a plan is armed: every hot-path consultation hides behind
@@ -169,7 +173,11 @@ type Network struct {
 	cycle int64
 }
 
-var _ sim.Network = (*Network)(nil)
+var (
+	_ sim.Network                = (*Network)(nil)
+	_ telemetry.Instrumentable   = (*Network)(nil)
+	_ telemetry.InvariantChecker = (*Network)(nil)
+)
 
 // New builds a Phastlane network. It panics on invalid configuration (a
 // programming error, not a runtime condition).
@@ -332,19 +340,53 @@ func (n *Network) enqueueUnicast(nic *pqueue, m sim.Message, dst mesh.NodeID) {
 // and account leakage. Deliveries are appended to buf per the sim.Network
 // buffer-ownership contract; the warmed-up loop performs no allocation.
 func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	sp := n.phases.Begin(n.cycle)
 	if n.watchEvery > 0 {
 		n.faultStep()
 	}
+	sp.Mark(telemetry.PhaseWatchdog)
 	n.resolveDropWindow()
+	sp.Mark(telemetry.PhaseDropWindow)
 	flights := n.launch()
+	sp.Mark(telemetry.PhaseLaunch)
 	buf = n.walk(flights, buf)
+	sp.Mark(telemetry.PhaseWalk)
 	// All flights have landed (delivered, buffered, or dropped); return
 	// them to the free list for the next cycle.
 	n.flightFree = append(n.flightFree, n.flights...)
 	n.flights = n.flights[:0]
 	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
 	n.cycle++
+	sp.End()
 	return buf
+}
+
+// SetPhases installs a sampled per-phase step profile (telemetry); nil
+// disables it — the default, costing one branch per Step.
+func (n *Network) SetPhases(p *telemetry.Phases) { n.phases = p }
+
+// CheckInvariants audits live-parcel conservation: every live parcel is
+// either queued in some router buffer or held by a pending launch record
+// whose drop signal has not yet been resolved. Meant for watchdog flush
+// boundaries (between Steps), never the per-cycle path.
+func (n *Network) CheckInvariants() error {
+	queued := 0
+	for i := range n.routers {
+		for d := range n.routers[i].queues {
+			queued += len(n.routers[i].queues[d].items)
+		}
+	}
+	dropped := 0
+	for _, rec := range n.pending {
+		if rec.result == outcomeDropped {
+			dropped++
+		}
+	}
+	if queued+dropped != n.live {
+		return fmt.Errorf("core: live-parcel accounting: %d queued + %d pending-dropped != %d live",
+			queued, dropped, n.live)
+	}
+	return nil
 }
 
 // resolveDropWindow acts on the previous cycle's launches: safe launches

@@ -26,6 +26,7 @@ import (
 	"phastlane/internal/power"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/vctm"
 )
 
@@ -174,6 +175,9 @@ type Network struct {
 	vcFree  []bool
 	// tracer receives router events when set (SetTracer).
 	tracer func(obs.Event)
+	// phases receives sampled per-phase step timings when set
+	// (SetPhases); nil — the default — costs one branch per Step.
+	phases *telemetry.Phases
 
 	// Event-driven kernel state (activeset.go). dense selects the
 	// reference walk-every-router loop (NewReference); allNodes is that
@@ -204,9 +208,12 @@ type Network struct {
 }
 
 var (
-	_ sim.Network   = (*Network)(nil)
-	_ sim.Traceable = (*Network)(nil)
-	_ obs.Traceable = (*Network)(nil)
+	_ sim.Network                 = (*Network)(nil)
+	_ sim.Traceable               = (*Network)(nil)
+	_ obs.Traceable               = (*Network)(nil)
+	_ telemetry.Instrumentable    = (*Network)(nil)
+	_ telemetry.ActiveSetReporter = (*Network)(nil)
+	_ telemetry.InvariantChecker  = (*Network)(nil)
 )
 
 // SetTracer installs a callback invoked synchronously for every router
@@ -214,6 +221,29 @@ var (
 // launch, VC allocation, switch traversal, credit stalls, multicast tree
 // forks); nil disables tracing — the default, costing nothing when off.
 func (n *Network) SetTracer(f func(obs.Event)) { n.tracer = f }
+
+// SetPhases installs a sampled per-phase step profile (telemetry); nil
+// disables it — the default, costing one branch per Step.
+func (n *Network) SetPhases(p *telemetry.Phases) { n.phases = p }
+
+// ActiveRouters reports the size of the event-driven active set as of
+// the last merge (plus routers activated since); under the dense
+// reference kernel it degrades to the ever-active router count.
+func (n *Network) ActiveRouters() int { return len(n.active) + len(n.activeAdd) }
+
+// CheckInvariants audits the active-set contract busy(node) ⇒
+// listed[node] for every router. It is O(nodes) and meant for watchdog
+// flush boundaries, never the per-cycle path.
+func (n *Network) CheckInvariants() error {
+	for node := range n.routers {
+		id := mesh.NodeID(node)
+		if n.busy(id) && !n.listed[id] {
+			return fmt.Errorf("electrical: router %d busy (occ %d, nic %d) but not active-set-listed",
+				node, n.occ[id], len(n.routers[id].nic))
+		}
+	}
+	return nil
+}
 
 // emit reports an event to the tracer, if any.
 func (n *Network) emit(kind obs.Kind, msgID uint64, node mesh.NodeID, dir mesh.Dir) {
@@ -450,23 +480,33 @@ func (n *Network) fill(vc *vcState, p *epacket, at mesh.NodeID) {
 // without work, the two walks are behaviourally identical — the
 // differential equivalence suite pins this, event for event.
 func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	sp := n.phases.Begin(n.cycle)
 	if n.watchEvery > 0 {
 		n.faultStep()
 	}
+	sp.Mark(telemetry.PhaseWatchdog)
 	n.applyArrivals()
+	sp.Mark(telemetry.PhaseArrivals)
 	var nodes []mesh.NodeID
 	if n.dense {
 		nodes = n.allNodes
 	} else {
 		nodes = n.mergeActive()
 	}
+	sp.Mark(telemetry.PhaseActiveSet)
 	buf = n.ejectPhase(buf, nodes)
+	sp.Mark(telemetry.PhaseEject)
 	n.injectPhase(nodes)
+	sp.Mark(telemetry.PhaseInject)
 	n.allocateVCs(nodes)
+	sp.Mark(telemetry.PhaseVCAlloc)
 	n.allocateSwitch(nodes)
+	sp.Mark(telemetry.PhaseSwitch)
 	n.agePhase(nodes)
+	sp.Mark(telemetry.PhaseAge)
 	n.run.LeakagePJ += power.LeakagePJ(n.energy.LeakageWPerRouter, n.m.Nodes(), 1, photonic.DefaultClockGHz)
 	n.cycle++
+	sp.End()
 	return buf
 }
 

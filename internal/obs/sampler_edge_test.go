@@ -1,0 +1,80 @@
+package obs
+
+import "testing"
+
+// TestSamplerPartialFinalWindow pins the trailing-bin contract: a run
+// ending mid-window still exposes the partial window, with its counts,
+// as the last bin.
+func TestSamplerPartialFinalWindow(t *testing.T) {
+	s := NewSampler(64, 100)
+	for cycle := int64(0); cycle < 250; cycle++ {
+		s.Tick(cycle, 2, 1, 10, 3, 0)
+	}
+	bins := s.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("250 cycles over window 100 produced %d bins, want 3 (2 full + 1 partial)", len(bins))
+	}
+	for i, want := range []int64{0, 100, 200} {
+		if bins[i].Start != want {
+			t.Errorf("bin %d starts at %d, want %d", i, bins[i].Start, want)
+		}
+	}
+	if full := bins[0]; full.Delivered != 200 || full.Injected != 300 || full.Completed != 100 {
+		t.Errorf("full window = %+v, want 100 cycles' worth of counts", full)
+	}
+	if partial := bins[2]; partial.Delivered != 100 || partial.Injected != 150 {
+		t.Errorf("partial window = %+v, want 50 cycles' worth of counts", partial)
+	}
+}
+
+// TestSamplerWindowLargerThanRun: a run shorter than one window yields
+// exactly one (partial) bin holding the whole run.
+func TestSamplerWindowLargerThanRun(t *testing.T) {
+	s := NewSampler(64, 10_000)
+	for cycle := int64(0); cycle < 37; cycle++ {
+		s.Tick(cycle, 1, 0, 0, 1, 0)
+	}
+	bins := s.Bins()
+	if len(bins) != 1 {
+		t.Fatalf("37-cycle run with window 10000 produced %d bins, want 1", len(bins))
+	}
+	if bins[0].Start != 0 || bins[0].Delivered != 37 || bins[0].Injected != 37 {
+		t.Errorf("lone bin = %+v, want the whole run at start 0", bins[0])
+	}
+}
+
+// TestSamplerZeroLengthRun: a sampler that never ticked reports no bins
+// at all — not a spurious empty window.
+func TestSamplerZeroLengthRun(t *testing.T) {
+	s := NewSampler(64, 100)
+	if bins := s.Bins(); len(bins) != 0 {
+		t.Errorf("unticked sampler reports %d bins, want 0: %+v", len(bins), bins)
+	}
+	if !s.Equal(NewSampler(64, 100)) {
+		t.Error("two unticked samplers compare unequal")
+	}
+}
+
+// TestSamplerExactWindowBoundary: a run ending exactly on a window
+// boundary exposes the last full window plus an empty partial for the
+// boundary cycle's window only once the next cycle arrives — ending at
+// cycle Window-1 yields exactly one bin.
+func TestSamplerExactWindowBoundary(t *testing.T) {
+	s := NewSampler(64, 100)
+	for cycle := int64(0); cycle < 100; cycle++ {
+		s.Tick(cycle, 1, 0, 0, 0, 0)
+	}
+	bins := s.Bins()
+	if len(bins) != 1 {
+		t.Fatalf("run of exactly one window produced %d bins, want 1", len(bins))
+	}
+	if bins[0].Delivered != 100 {
+		t.Errorf("boundary bin delivered %d, want 100", bins[0].Delivered)
+	}
+	// One more cycle rotates the full window out and opens the next.
+	s.Tick(100, 1, 0, 0, 0, 0)
+	bins = s.Bins()
+	if len(bins) != 2 || bins[1].Start != 100 || bins[1].Delivered != 1 {
+		t.Errorf("bins after boundary tick = %+v, want full window plus fresh partial", bins)
+	}
+}

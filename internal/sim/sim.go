@@ -12,6 +12,7 @@ import (
 	"phastlane/internal/obs"
 	"phastlane/internal/packet"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/trace"
 	"phastlane/internal/traffic"
 )
@@ -138,6 +139,35 @@ func attachObs(net Network, c *obs.Collector) *obs.Sampler {
 	return c.Sampler
 }
 
+// attachTelemetry installs t's phase profile on net (when the network is
+// instrumentable) and returns the network's optional telemetry views:
+// the active-set size reporter and the invariant checker, nil when
+// unsupported. The counterpart of attachObs for the telemetry layer.
+func attachTelemetry(net Network, t *telemetry.Run) (telemetry.ActiveSetReporter, telemetry.InvariantChecker) {
+	if t == nil {
+		return nil, nil
+	}
+	if in, ok := net.(telemetry.Instrumentable); ok {
+		in.SetPhases(t.Phases)
+	}
+	asr, _ := net.(telemetry.ActiveSetReporter)
+	ic, _ := net.(telemetry.InvariantChecker)
+	return asr, ic
+}
+
+// telemetryFlush drives one watchdog-and-flight-record flush, gathering
+// the optional network views. activeRouters is -1 without an active set.
+func telemetryFlush(t *telemetry.Run, asr telemetry.ActiveSetReporter, ic telemetry.InvariantChecker, s telemetry.FlushStats) {
+	s.ActiveRouters = -1
+	if asr != nil {
+		s.ActiveRouters = asr.ActiveRouters()
+	}
+	if ic != nil {
+		s.InvariantErr = ic.CheckInvariants()
+	}
+	t.Flush(s)
+}
+
 // Result summarises one harness run.
 type Result struct {
 	Run stats.Run
@@ -192,6 +222,12 @@ type RateConfig struct {
 	// is installed on the network (if the network supports tracing) and
 	// its Sampler is fed once per cycle. Nil costs nothing.
 	Obs *obs.Collector
+	// Telemetry, when non-nil, attaches the live telemetry bundle: the
+	// network gets the sampled phase profile (if it supports
+	// instrumentation), counters tick once per cycle, and the flight
+	// recorder and watchdogs flush every Telemetry.FlushEvery cycles.
+	// Nil costs one branch per cycle.
+	Telemetry *telemetry.Run
 }
 
 // RunRate drives net with Bernoulli pattern traffic and measures average
@@ -219,6 +255,9 @@ func RunRate(net Network, cfg RateConfig) Result {
 	var cycle int64
 	var offered, accepted int64
 	sampler := attachObs(net, cfg.Obs)
+	tel := cfg.Telemetry
+	telASR, telIC := attachTelemetry(net, tel)
+	nrun := net.Run()
 	// Losses reported by the delivery layer resolve measured messages so
 	// the drain phase does not wait forever for packets that will never
 	// arrive. Unrecorded (warmup) losses need no bookkeeping.
@@ -236,6 +275,9 @@ func RunRate(net Network, cfg RateConfig) Result {
 			st.remaining = 0
 			active--
 			res.Lost++
+			if tel != nil {
+				tel.Lost.Inc()
+			}
 		}
 	})
 	var cycleInjected int
@@ -281,19 +323,38 @@ func RunRate(net Network, cfg RateConfig) Result {
 					// A partially-lost message completing its
 					// surviving deliveries counts as a loss.
 					res.Lost++
+					if tel != nil {
+						tel.Lost.Inc()
+					}
 					continue
 				}
 				lat := float64(cycle - st.inject + 1)
 				res.Run.Latency.Add(lat)
 				completed++
 				latencySum += lat
+				if tel != nil {
+					tel.Latency.Observe(lat)
+				}
 			}
 		}
 		if sampler != nil {
 			sampler.Tick(cycle, len(deliveries), completed, latencySum, cycleInjected, net.Run().Drops)
 		}
-		cycleInjected = 0
 		cycle++
+		if tel != nil {
+			tel.Tick(cycleInjected, len(deliveries), nrun.Drops, nrun.Retries, active)
+			if cycle%tel.FlushEvery == 0 {
+				telemetryFlush(tel, telASR, telIC, telemetry.FlushStats{
+					Cycle:             cycle,
+					Injected:          int64(len(states)),
+					Delivered:         int64(res.Run.Latency.Count()),
+					Lost:              res.Lost,
+					InFlight:          int64(active),
+					CheckConservation: true,
+				})
+			}
+		}
+		cycleInjected = 0
 	}
 
 	for i := 0; i < cfg.Warmup; i++ {
@@ -307,6 +368,18 @@ func RunRate(net Network, cfg RateConfig) Result {
 	// Drain: stop injecting, wait for measured packets to arrive.
 	for i := 0; i < cfg.DrainLimit && active > 0; i++ {
 		stepTick()
+	}
+	// A closing flush audits conservation over the whole run even when
+	// the run is shorter than a flush period.
+	if tel != nil {
+		telemetryFlush(tel, telASR, telIC, telemetry.FlushStats{
+			Cycle:             cycle,
+			Injected:          int64(len(states)),
+			Delivered:         int64(res.Run.Latency.Count()),
+			Lost:              res.Lost,
+			InFlight:          int64(active),
+			CheckConservation: true,
+		})
 	}
 	res.Run.Cycles = int64(cfg.Measure)
 	res.Offered = offered
@@ -341,6 +414,11 @@ type ReplayConfig struct {
 	// Obs, when non-nil, attaches the observability bundle as in
 	// RateConfig.Obs.
 	Obs *obs.Collector
+	// Telemetry, when non-nil, attaches the live telemetry bundle as in
+	// RateConfig.Telemetry. Trace replays skip the conservation audit
+	// (the replay's own dependency accounting subsumes it) but keep the
+	// network invariant checks and the flight record.
+	Telemetry *telemetry.Run
 }
 
 // RunTrace replays tr on net: each message injects once its EarliestCycle
@@ -390,6 +468,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 	var cycle int64
 	remainingDeliveries := 0
 	sampler := attachObs(net, cfg.Obs)
+	tel := cfg.Telemetry
+	telASR, telIC := attachTelemetry(net, tel)
+	nrun := net.Run()
 	// wake readies the children of a completed message (delivered or
 	// abandoned): think time from now, never before EarliestCycle.
 	wake := func(id uint64) {
@@ -419,6 +500,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 		remainingDeliveries -= count
 		if st.remaining == 0 {
 			res.Lost++
+			if tel != nil {
+				tel.Lost.Inc()
+			}
 			wake(l.MsgID)
 		}
 	})
@@ -480,6 +564,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			}
 			if st.lost {
 				res.Lost++
+				if tel != nil {
+					tel.Lost.Inc()
+				}
 				wake(d.MsgID)
 				continue
 			}
@@ -487,6 +574,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			res.Run.Latency.Add(lat)
 			completed++
 			latencySum += lat
+			if tel != nil {
+				tel.Latency.Observe(lat)
+			}
 			res.Run.Delivered++
 			res.Makespan = cycle + 1
 			m := tr.Messages[d.MsgID-1]
@@ -502,6 +592,30 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			sampler.Tick(cycle, len(deliveries), completed, latencySum, cycleInjected, net.Run().Drops)
 		}
 		cycle++
+		if tel != nil {
+			// Message-level in-flight is derived: every injected message
+			// resolves as exactly one completion or loss.
+			inFlight := res.Run.Injected - int64(res.Run.Latency.Count()) - res.Lost
+			tel.Tick(cycleInjected, len(deliveries), nrun.Drops, nrun.Retries, int(inFlight))
+			if cycle%tel.FlushEvery == 0 {
+				telemetryFlush(tel, telASR, telIC, telemetry.FlushStats{
+					Cycle:     cycle,
+					Injected:  res.Run.Injected,
+					Delivered: int64(res.Run.Latency.Count()),
+					Lost:      res.Lost,
+					InFlight:  inFlight,
+				})
+			}
+		}
+	}
+	if tel != nil {
+		telemetryFlush(tel, telASR, telIC, telemetry.FlushStats{
+			Cycle:     cycle,
+			Injected:  res.Run.Injected,
+			Delivered: int64(res.Run.Latency.Count()),
+			Lost:      res.Lost,
+			InFlight:  res.Run.Injected - int64(res.Run.Latency.Count()) - res.Lost,
+		})
 	}
 	res.Run.Cycles = cycle
 	copyCounters(&res.Run, net.Run())

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one JSONL line of a flight record. Type is "sample" for the
+// periodic snapshots, "watchdog" for a tripped invariant (Trip carries
+// the detail), and "final" for the closing record written by Close.
+type Record struct {
+	Type         string  `json:"type"`
+	WallMs       int64   `json:"wall_ms"`
+	Cycle        int64   `json:"cycle"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Injected     int64   `json:"injected"`
+	Delivered    int64   `json:"delivered"`
+	Lost         int64   `json:"lost"`
+	InFlight     int64   `json:"in_flight"`
+	Drops        int64   `json:"drops"`
+	Retries      int64   `json:"retries"`
+	// ActiveRouters is -1 when the network has no active set.
+	ActiveRouters  int     `json:"active_routers"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	HeapBytes      uint64  `json:"heap_bytes"`
+	RSSBytes       uint64  `json:"rss_bytes"`
+	Trip           string  `json:"trip,omitempty"`
+}
+
+// Recorder writes a flight record: one JSON object per line, flushed on
+// every write so a crash or kill loses at most the current line. Not
+// goroutine-safe: one recorder per run, driven from the harness.
+type Recorder struct {
+	w     *bufio.Writer
+	c     io.Closer
+	enc   *json.Encoder
+	start time.Time
+
+	lastWall    time.Time
+	lastCycle   int64
+	lastMallocs uint64
+	haveLast    bool
+}
+
+// NewRecorder writes the flight record to w.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	now := time.Now()
+	return &Recorder{w: bw, enc: json.NewEncoder(bw), start: now, lastWall: now}
+}
+
+// OpenRecorder appends the flight record to the file at path, creating
+// it as needed.
+func OpenRecorder(path string) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRecorder(f)
+	r.c = f
+	return r, nil
+}
+
+// Write stamps rec with wall time and the cycle/alloc rates since the
+// previous record and appends it. mallocs is the cumulative allocation
+// count (runtime.MemStats.Mallocs); pass 0 to skip the alloc rate.
+func (r *Recorder) Write(rec Record, mallocs uint64) {
+	now := time.Now()
+	rec.WallMs = now.Sub(r.start).Milliseconds()
+	if r.haveLast {
+		dt := now.Sub(r.lastWall).Seconds()
+		dc := rec.Cycle - r.lastCycle
+		if dt > 0 && dc > 0 {
+			rec.CyclesPerSec = float64(dc) / dt
+			if mallocs > 0 && mallocs >= r.lastMallocs {
+				rec.AllocsPerCycle = float64(mallocs-r.lastMallocs) / float64(dc)
+			}
+		}
+	}
+	r.lastWall, r.lastCycle, r.haveLast = now, rec.Cycle, true
+	if mallocs > 0 {
+		r.lastMallocs = mallocs
+	}
+	r.enc.Encode(rec) // Encode adds the newline; errors surface at Close
+	r.w.Flush()
+}
+
+// Close flushes and closes the underlying file, if any.
+func (r *Recorder) Close() error {
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	if r.c != nil {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// pageSize for /proc/self/statm; Linux uses 4KiB pages on every platform
+// this project targets.
+const pageSize = 4096
+
+// readRSS returns the process resident set size in bytes, or 0 when the
+// platform does not expose /proc/self/statm.
+func readRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * pageSize
+}

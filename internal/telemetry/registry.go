@@ -1,0 +1,335 @@
+// Package telemetry is the live observability layer shared by both
+// simulators and every long-running command. Where package obs answers
+// "what happened in this run" after the fact (event matrices, Perfetto
+// traces), telemetry answers "what is happening right now" while a
+// multi-billion-cycle run is still going: a lock-free metrics registry
+// scraped over HTTP (Prometheus text + JSON snapshot + net/http/pprof),
+// sampled per-pipeline-phase timers that attribute where a kernel's
+// step time goes, a JSONL flight recorder for post-hoc diagnosis of long
+// runs, and invariant watchdogs that trip (and optionally abort) when
+// the simulation's conservation laws break.
+//
+// Overhead contract: everything is nil-guarded zero-cost when off. A
+// network with a nil *Phases pays one nil check per Step; a harness with
+// a nil *Run pays one branch per cycle. When on, metric updates are
+// single atomic operations and phase timing is sampled (one cycle in
+// SampleEvery), so both kernels keep their 0 allocs/cycle budget with
+// telemetry attached.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float value, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram records observations into a fixed-size ring buffer of the
+// most recent samples plus exact count/sum totals. Quantiles are computed
+// at snapshot time over the ring, so a scrape sees the recent
+// distribution without the writer ever taking a lock or allocating.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	ring    []atomic.Uint64
+	mask    uint64
+}
+
+// DefaultHistogramWindow is the ring size used when none is given.
+const DefaultHistogramWindow = 1024
+
+func newHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = DefaultHistogramWindow
+	}
+	// Round up to a power of two so the ring index is a mask.
+	size := 1
+	for size < window {
+		size *= 2
+	}
+	return &Histogram{ring: make([]atomic.Uint64, size), mask: uint64(size - 1)}
+}
+
+// Observe records one sample. Lock-free: one atomic add for the slot,
+// one store, and a CAS loop for the running sum.
+func (h *Histogram) Observe(v float64) {
+	i := uint64(h.count.Add(1)-1) & h.mask
+	h.ring[i].Store(math.Float64bits(v))
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot summarises a histogram at one instant.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot computes quantiles over the retained ring of recent samples.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: math.Float64frombits(h.sumBits.Load())}
+	n := s.Count
+	if n == 0 {
+		return s
+	}
+	if n > int64(len(h.ring)) {
+		n = int64(len(h.ring))
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(h.ring[i].Load())
+	}
+	sort.Float64s(vals)
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p/100*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return vals[idx]
+	}
+	s.Min, s.Max = vals[0], vals[len(vals)-1]
+	s.Mean = s.Sum / float64(s.Count)
+	s.P50, s.P95, s.P99 = q(50), q(95), q(99)
+	return s
+}
+
+// metric is one registered entry; exactly one of the pointers is set.
+type metric struct {
+	name, help string
+	typ        string // "counter", "gauge", "summary"
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	fn         func() float64
+}
+
+// Registry holds named metrics in registration order. Registration takes
+// a lock; metric updates and scrapes never do (they read atomics).
+type Registry struct {
+	mu     sync.RWMutex
+	order  []*metric
+	byName map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// validName checks the Prometheus metric-name grammar: a bare name, or
+// name{key="value",...} for a pre-labelled series.
+func validName(name string) error {
+	base := name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") || i == 0 {
+			return fmt.Errorf("telemetry: malformed labels in metric %q", name)
+		}
+		base = name[:i]
+	}
+	for i, r := range base {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q", name)
+		}
+	}
+	if base == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	return nil
+}
+
+// baseName strips a {labels} suffix.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register inserts m, panicking on invalid or conflicting names
+// (registration is programmer-controlled, so both are programming
+// errors). Registering the same name twice returns the existing metric
+// when the kinds match.
+func (r *Registry) register(m *metric) *metric {
+	if err := validName(m.name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.name]; ok {
+		if prev.typ != m.typ {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", m.name, m.typ, prev.typ))
+		}
+		return prev
+	}
+	r.byName[m.name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(&metric{name: name, help: help, typ: "counter", counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(&metric{name: name, help: help, typ: "gauge", gauge: &Gauge{}})
+	return m.gauge
+}
+
+// Histogram registers (or fetches) a ring-buffer histogram retaining the
+// last window samples (0 = DefaultHistogramWindow). Histogram names must
+// not carry labels: the summary exposition adds its own quantile label.
+func (r *Registry) Histogram(name, help string, window int) *Histogram {
+	if strings.ContainsRune(name, '{') {
+		panic(fmt.Sprintf("telemetry: histogram %q must not carry labels", name))
+	}
+	m := r.register(&metric{name: name, help: help, typ: "summary", hist: newHistogram(window)})
+	return m.hist
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// snapshotMetrics returns the ordered metric list under the read lock.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*metric, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// value returns the metric's current scalar value (not for histograms).
+func (m *metric) value() float64 {
+	switch {
+	case m.fn != nil:
+		return m.fn()
+	case m.counter != nil:
+		return float64(m.counter.Load())
+	case m.gauge != nil:
+		return m.gauge.Load()
+	}
+	return 0
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metrics sharing a base name (labelled series)
+// emit one HELP/TYPE header for the group.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastBase string
+	for _, m := range r.snapshotMetrics() {
+		base := baseName(m.name)
+		if base != lastBase {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, m.help, base, m.typ); err != nil {
+				return err
+			}
+			lastBase = base
+		}
+		if m.hist != nil {
+			s := m.hist.Snapshot()
+			if _, err := fmt.Fprintf(w,
+				"%s{quantile=\"0.5\"} %v\n%s{quantile=\"0.95\"} %v\n%s{quantile=\"0.99\"} %v\n%s_sum %v\n%s_count %d\n",
+				m.name, s.P50, m.name, s.P95, m.name, s.P99, m.name, s.Sum, m.name, s.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %v\n", m.name, m.value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot is the JSON document served at /telemetry.json: every
+// registered metric by name. It round-trips through encoding/json.
+// Counters holds the integer atomic counters; scrape-time func metrics
+// are float-valued and land in Gauges regardless of exposition type.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	for _, m := range r.snapshotMetrics() {
+		switch {
+		case m.hist != nil:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[m.name] = m.hist.Snapshot()
+		case m.typ == "counter" && m.fn == nil:
+			if s.Counters == nil {
+				s.Counters = make(map[string]int64)
+			}
+			s.Counters[m.name] = m.counter.Load()
+		default:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]float64)
+			}
+			s.Gauges[m.name] = m.value()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

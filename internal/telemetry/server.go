@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Handler serves the registry: Prometheus text at /metrics, the JSON
+// snapshot at /telemetry.json, and the standard net/http/pprof handlers
+// under /debug/pprof/ (so a CPU profile of a live run is one curl away,
+// replacing per-command profiling flags).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "phastlane telemetry\n\n/metrics\n/telemetry.json\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves the registry on a
+// background goroutine, returning the bound address. The server lives
+// for the remainder of the process — simulation commands exit when the
+// run ends, which is the shutdown.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "telemetry: serve: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Start is the shared -telemetry-addr wiring used by every command:
+// with an empty addr it does nothing (telemetry stays off); otherwise it
+// registers the process metrics on reg (creating a registry when nil),
+// serves it, and logs the bound address to stderr. It returns the
+// registry so callers can hang more metrics on it.
+func Start(addr string, reg *Registry) (*Registry, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if addr == "" {
+		return reg, nil
+	}
+	RegisterProcessMetrics(reg)
+	bound, err := Serve(addr, reg)
+	if err != nil {
+		return reg, err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/ (metrics, telemetry.json, debug/pprof)\n", bound)
+	return reg, nil
+}
+
+// RegisterProcessMetrics adds process-level gauges computed at scrape
+// time: goroutines, heap, cumulative allocations, GC cycles, RSS and
+// uptime. Idempotent per registry.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	mem := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return f(&m)
+		}
+	}
+	reg.GaugeFunc("go_goroutines", "current goroutine count",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "live heap bytes",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	reg.CounterFunc("go_total_alloc_bytes", "cumulative heap bytes allocated",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	reg.CounterFunc("go_mallocs_total", "cumulative heap allocations",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.Mallocs) }))
+	reg.CounterFunc("go_gc_cycles_total", "completed GC cycles",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	reg.GaugeFunc("process_rss_bytes", "resident set size",
+		func() float64 { return float64(readRSS()) })
+	reg.GaugeFunc("process_uptime_seconds", "seconds since telemetry start",
+		func() float64 { return time.Since(start).Seconds() })
+}
