@@ -13,6 +13,7 @@
 //	inspect -metrics-out m.csv -series-out s.csv
 //	inspect -width 4 -height 4 -measure 500  # small mesh, short run
 //	inspect -telemetry-addr :9090            # live metrics + pprof endpoint
+//	inspect -why -rate 0.3                   # per-packet tail-blame report
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"phastlane/internal/electrical"
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
+	"phastlane/internal/provenance"
 	"phastlane/internal/sim"
 	"phastlane/internal/telemetry"
 )
@@ -47,7 +49,9 @@ func main() {
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
+	why := provenance.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	why.Clamp()
 
 	w, h := *width, *height
 	var opts []figures.InspectOpts
@@ -94,13 +98,27 @@ func main() {
 
 	// CPU profiles now come from the shared telemetry endpoint:
 	// curl http://<addr>/debug/pprof/profile?seconds=10 during the replay.
-	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
+	reg, err := telemetry.Start(*telemetryAddr, nil)
+	if err != nil {
 		fail(err)
 	}
+	if why.Why {
+		// Pre-build the trackers so live tail quantiles land on the
+		// telemetry endpoint while the replay runs.
+		for i := range opts {
+			o := &opts[i]
+			o.Prov = provenance.New(provenance.Config{
+				K: why.Sample, Seed: o.Seed, Width: o.Width, Height: o.Height,
+			})
+			if *telemetryAddr != "" {
+				o.Prov.Register(reg, o.Name)
+			}
+		}
+	}
 
-	_, err := figures.InspectBundle(opts, exp.Options{Workers: *parallel}, figures.BundleOpts{
+	_, err = figures.InspectBundle(opts, exp.Options{Workers: *parallel}, figures.BundleOpts{
 		TracePath: *traceOut, MetricsPath: *metricsOut, SeriesPath: *seriesOut,
-		Heatmap: *heatmap,
+		Heatmap: *heatmap, WhyTop: why.Top,
 	}, os.Stdout)
 	if err != nil {
 		fail(err)

@@ -12,6 +12,7 @@
 //	sweep -parallel 4            # explicit worker count (0 = all cores)
 //	sweep -tails -csv            # long form with p50/p95/p99 columns
 //	sweep -heatmap -trace-out t.json  # deep-dive each curve's knee point
+//	sweep -why                   # tail-blame report at each curve's knee
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
+	"phastlane/internal/provenance"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
 	"phastlane/internal/telemetry"
@@ -44,7 +46,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the knee points' per-node event matrices as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for each curve's knee point")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	why := provenance.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	why.Clamp()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
@@ -89,8 +93,8 @@ func main() {
 		}
 	}
 
-	bundle := figures.BundleOpts{TracePath: *traceOut, MetricsPath: *metricsOut, Heatmap: *heatmap}
-	if !bundle.Enabled() {
+	bundle := figures.BundleOpts{TracePath: *traceOut, MetricsPath: *metricsOut, Heatmap: *heatmap, WhyTop: why.Top}
+	if !bundle.Enabled() && !why.Why {
 		return
 	}
 	// Deep-dive each displayed curve at its saturation knee (the highest
@@ -117,10 +121,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
 				os.Exit(2)
 			}
+			whySample := 0
+			if why.Why {
+				whySample = why.Sample
+			}
 			inspects = append(inspects, figures.InspectOpts{
 				Name: res.Pattern + "/" + curve.Config, Build: cfg.Build,
 				Width: 8, Height: 8, Pattern: p, Rate: rate,
 				Warmup: *warmup, Measure: *measure, Seed: *seed,
+				WhySample: whySample,
 			})
 		}
 	}

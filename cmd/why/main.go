@@ -1,0 +1,158 @@
+// Command why answers "where did the latency go?" for one (configuration,
+// pattern, rate) point: it replays the run with per-packet latency
+// provenance attached, deterministically samples the slowest packets, and
+// prints a tail-blame report — the per-stage latency decomposition of the
+// whole run and of the slow cohort, the routers and links ranked by
+// queueing time they contributed, and the slowest packet's hop-by-hop
+// span tree. The same report can be written as JSON (the CI gate parses
+// it) and the sampled span trees as a Perfetto trace.
+//
+// The run is the same deterministic replay cmd/inspect performs, so a
+// sweep point can be explained after the fact by re-running its seed.
+//
+// Usage:
+//
+//	why                                   # both networks, uniform 0.10
+//	why -net optical -rate 0.3            # one network, past the knee
+//	why -why-sample 128 -why-top 20       # bigger cohort, longer tables
+//	why -why-out report.json              # machine-readable report
+//	why -trace-out why.json               # span trees for ui.perfetto.dev
+//	why -min-attrib 0.95                  # fail unless 95% attributed
+//	why -telemetry-addr :9090             # live tail quantiles + stages
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/exp"
+	"phastlane/internal/figures"
+	"phastlane/internal/provenance"
+	"phastlane/internal/sim"
+	"phastlane/internal/telemetry"
+)
+
+func main() {
+	netFlag := flag.String("net", "both", "network to explain: both, optical, electrical")
+	width := flag.Int("width", 8, "mesh width")
+	height := flag.Int("height", 8, "mesh height")
+	pattern := flag.String("pattern", "Uniform", "traffic pattern (Uniform, BitComp, BitRev, Shuffle, Transpose)")
+	rate := flag.Float64("rate", 0.10, "injection rate (packets/node/cycle)")
+	warmup := flag.Int("warmup", 500, "warmup cycles")
+	measure := flag.Int("measure", 2000, "measurement cycles")
+	seed := flag.Int64("seed", 1, "random seed")
+	hops := flag.Int("hops", 4, "optical MaxHops (4, 5 or 8)")
+	buffers := flag.Int("buffers", 10, "optical buffer entries (-1 = infinite)")
+	delay := flag.Int("delay", 3, "electrical router delay in cycles (2 or 3)")
+	whyOut := flag.String("why-out", "", "write the tail-blame reports as a JSON array to this file")
+	traceOut := flag.String("trace-out", "", "write the sampled span trees as Perfetto trace-event JSON to this file")
+	minAttrib := flag.Float64("min-attrib", 0.95,
+		"fail unless every sampled packet's named stages explain at least this latency fraction")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
+	why := provenance.RegisterAlwaysOn(flag.CommandLine)
+	flag.Parse()
+	why.Clamp()
+
+	w, h := *width, *height
+	var opts []figures.InspectOpts
+	add := func(name string, build func(seed int64) sim.Network) {
+		p, err := figures.PatternByName(*pattern, w*h, *seed)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, figures.InspectOpts{
+			Name: name, Build: build, Width: w, Height: h,
+			Pattern: p, Rate: *rate,
+			Warmup: *warmup, Measure: *measure, Seed: *seed,
+		})
+	}
+	if *netFlag == "both" || *netFlag == "optical" {
+		add("optical", func(seed int64) sim.Network {
+			cfg := core.DefaultConfig()
+			cfg.Width, cfg.Height = w, h
+			cfg.MaxHops = *hops
+			cfg.BufferEntries = *buffers
+			cfg.Seed = seed
+			if err := cfg.Validate(); err != nil {
+				fail(err)
+			}
+			return core.New(cfg)
+		})
+	}
+	if *netFlag == "both" || *netFlag == "electrical" {
+		add("electrical", func(seed int64) sim.Network {
+			cfg := electrical.DefaultConfig()
+			cfg.Width, cfg.Height = w, h
+			cfg.RouterDelay = *delay
+			cfg.Seed = seed
+			if err := cfg.Validate(); err != nil {
+				fail(err)
+			}
+			return electrical.New(cfg)
+		})
+	}
+	if len(opts) == 0 {
+		fail(fmt.Errorf("unknown -net %q (want both, optical or electrical)", *netFlag))
+	}
+
+	reg, err := telemetry.Start(*telemetryAddr, nil)
+	if err != nil {
+		fail(err)
+	}
+	for i := range opts {
+		o := &opts[i]
+		o.Prov = provenance.New(provenance.Config{
+			K: why.Sample, Seed: o.Seed, Width: o.Width, Height: o.Height,
+		})
+		if *telemetryAddr != "" {
+			o.Prov.Register(reg, o.Name)
+		}
+	}
+
+	results, err := figures.InspectBundle(opts, exp.Options{Workers: *parallel}, figures.BundleOpts{
+		TracePath: *traceOut, WhyTop: why.Top,
+	}, os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+
+	var reports []*provenance.Report
+	failed := false
+	for i := range results {
+		rep := results[i].Prov.Report(results[i].Name)
+		reports = append(reports, rep)
+		if rep.Cohort == 0 {
+			fmt.Fprintf(os.Stderr, "why: %s completed no packets\n", rep.Name)
+			failed = true
+			continue
+		}
+		if rep.AttributionMin < *minAttrib {
+			fmt.Fprintf(os.Stderr, "why: %s attribution min %.3f below -min-attrib %.3f\n",
+				rep.Name, rep.AttributionMin, *minAttrib)
+			failed = true
+		}
+	}
+	if *whyOut != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*whyOut, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d reports)\n", *whyOut, len(reports))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "why:", err)
+	os.Exit(1)
+}

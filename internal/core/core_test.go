@@ -651,10 +651,10 @@ func TestTracerEventSequence(t *testing.T) {
 	n := mustNew(t, nil)
 	var events []Event
 	n.SetTracer(func(e Event) { events = append(events, e) })
-	// 0 -> 2: launch, one pass at router 1, eject at 2.
+	// 0 -> 2: inject at the NIC, launch, one pass at router 1, eject at 2.
 	n.Inject(sim.Message{ID: 9, Src: 0, Dsts: []mesh.NodeID{2}, Op: packet.OpSynthetic})
 	n.Step(nil)
-	want := []EventKind{EventLaunch, EventPass, EventEject}
+	want := []EventKind{EventInject, EventLaunch, EventPass, EventEject}
 	if len(events) != len(want) {
 		t.Fatalf("events = %v", events)
 	}
@@ -663,7 +663,7 @@ func TestTracerEventSequence(t *testing.T) {
 			t.Fatalf("event %d = %v, want kind %v", i, events[i], k)
 		}
 	}
-	if events[0].Node != 0 || events[1].Node != 1 || events[2].Node != 2 {
+	if events[0].Node != 0 || events[1].Node != 0 || events[2].Node != 1 || events[3].Node != 2 {
 		t.Fatalf("event nodes wrong: %v", events)
 	}
 	// Tracing off again: no more events.

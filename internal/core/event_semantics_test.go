@@ -83,11 +83,12 @@ func TestEventStreamDropRetryPairing(t *testing.T) {
 }
 
 // TestEventStreamLifecycleOrdering: every message's first event is its
-// launch, every message ends delivered (at least one eject), and cycles
-// never run backwards.
+// NIC injection followed by a launch, every message ends delivered (at
+// least one eject), and cycles never run backwards.
 func TestEventStreamLifecycleOrdering(t *testing.T) {
 	events := eventLog(t)
 	first := map[uint64]EventKind{}
+	second := map[uint64]EventKind{}
 	ejects := map[uint64]int{}
 	var lastCycle int64
 	for i, e := range events {
@@ -97,21 +98,26 @@ func TestEventStreamLifecycleOrdering(t *testing.T) {
 		lastCycle = e.Cycle
 		if _, seen := first[e.MsgID]; !seen {
 			first[e.MsgID] = e.Kind
+		} else if _, seen := second[e.MsgID]; !seen {
+			second[e.MsgID] = e.Kind
 		}
 		switch e.Kind {
 		case EventEject, EventTap:
 			ejects[e.MsgID]++
-			if first[e.MsgID] != EventLaunch {
-				t.Fatalf("msg %d delivered before any launch (first event %v)", e.MsgID, first[e.MsgID])
+			if first[e.MsgID] != EventInject {
+				t.Fatalf("msg %d delivered before any inject (first event %v)", e.MsgID, first[e.MsgID])
 			}
 		}
 	}
 	for id, k := range first {
-		if k != EventLaunch {
-			t.Errorf("msg %d: first event %v, want launch", id, k)
+		if k != EventInject {
+			t.Errorf("msg %d: first event %v, want inject", id, k)
+		}
+		if second[id] != EventLaunch {
+			t.Errorf("msg %d: second event %v, want launch", id, second[id])
 		}
 		if ejects[id] == 0 {
-			t.Errorf("msg %d launched but never delivered", id)
+			t.Errorf("msg %d injected but never delivered", id)
 		}
 	}
 	// The quiescent run delivered everything: the broadcast reached all

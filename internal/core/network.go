@@ -287,6 +287,7 @@ func (n *Network) Inject(m sim.Message) {
 		panic(fmt.Sprintf("core: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
 	}
 	n.run.Injected++
+	n.emit(EventInject, m.ID, m.Src, mesh.Local)
 	switch {
 	case len(m.Dsts) == 1:
 		if m.Dsts[0] == m.Src {

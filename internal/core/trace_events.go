@@ -39,6 +39,9 @@ const (
 	// EventRetry: the dropped packet re-enters its owner's queue after
 	// backoff.
 	EventRetry = obs.KindRetry
+	// EventInject: the NIC accepted the message from the harness (once
+	// per message; the gap to the first launch is the source-queue wait).
+	EventInject = obs.KindInject
 )
 
 // SetTracer installs a callback invoked synchronously for every router

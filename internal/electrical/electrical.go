@@ -412,6 +412,7 @@ func (n *Network) Inject(m sim.Message) {
 		panic(fmt.Sprintf("electrical: inject into full NIC at node %d (%d free entries; check NICFree before Inject)", m.Src, free))
 	}
 	n.run.Injected++
+	n.emit(obs.KindInject, m.ID, m.Src, mesh.Local)
 	p := n.getPacket()
 	p.msgID = m.ID
 	p.born = n.cycle

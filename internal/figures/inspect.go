@@ -7,6 +7,7 @@ import (
 	"phastlane/internal/exp"
 	"phastlane/internal/obs"
 	"phastlane/internal/photonic"
+	"phastlane/internal/provenance"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
 	"phastlane/internal/traffic"
@@ -43,6 +44,12 @@ type InspectOpts struct {
 	// Trace, when non-nil, receives every event - typically
 	// obs.TraceFile.Tracer(pid) with a per-run pid.
 	Trace func(obs.Event)
+	// WhySample, when positive, attaches a provenance tracker sampling
+	// the WhySample slowest packets for the tail-blame report.
+	WhySample int
+	// Prov, when non-nil, is a caller-built tracker (already registered
+	// with telemetry, say) and wins over WhySample.
+	Prov *provenance.Tracker
 }
 
 // InspectResult bundles the observability outputs of one point.
@@ -55,6 +62,9 @@ type InspectResult struct {
 	Metrics *obs.Metrics
 	Sampler *obs.Sampler
 	Run     sim.Result
+	// Prov is the provenance tracker when the point asked for one
+	// (WhySample/Prov in InspectOpts); nil otherwise.
+	Prov *provenance.Tracker
 }
 
 // Inspect runs one point with the observability bundle attached.
@@ -67,10 +77,16 @@ func Inspect(o InspectOpts) InspectResult {
 	net := o.Build(o.Seed)
 	res := InspectResult{Name: o.Name, Metrics: c.Metrics, Sampler: c.Sampler}
 	_, res.Traced = net.(sim.Traceable)
+	res.Prov = o.Prov
+	if res.Prov == nil && o.WhySample > 0 {
+		res.Prov = provenance.New(provenance.Config{
+			K: o.WhySample, Seed: o.Seed, Width: o.Width, Height: o.Height,
+		})
+	}
 	res.Run = sim.RunRate(net, sim.RateConfig{
 		Pattern: o.Pattern, Rate: o.Rate,
 		Warmup: o.Warmup, Measure: o.Measure,
-		Seed: o.Seed, Obs: c,
+		Seed: o.Seed, Obs: c, Prov: res.Prov,
 	})
 	return res
 }

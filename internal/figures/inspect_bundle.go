@@ -7,6 +7,7 @@ import (
 
 	"phastlane/internal/exp"
 	"phastlane/internal/obs"
+	"phastlane/internal/provenance"
 	"phastlane/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type BundleOpts struct {
 	SeriesPath string
 	// Heatmap prints link-utilization and drop heatmaps to the writer.
 	Heatmap bool
+	// WhyTop caps the table rows of the tail-blame reports printed for
+	// points that carried a provenance tracker (0 = provenance default).
+	WhyTop int
 }
 
 // InspectBundle runs an inspection grid and materialises the requested
@@ -47,6 +51,23 @@ func InspectBundle(opts []InspectOpts, engine exp.Options, b BundleOpts, w io.Wr
 	fmt.Fprintln(w, InspectSummaryTable(results))
 	if b.Heatmap {
 		fmt.Fprint(w, InspectHeatmaps(results))
+	}
+	top := b.WhyTop
+	if top <= 0 {
+		top = provenance.DefaultTop
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Prov == nil {
+			continue
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, r.Prov.Report(r.Name).Format(top))
+		if tf != nil {
+			// The slow-packet span trees load as an extra trace process
+			// next to the per-node network tracks.
+			r.Prov.ExportPerfetto(tf, len(opts)+i, r.Name)
+		}
 	}
 	writeCSV := func(path string, t *stats.Table) error {
 		if path == "" {

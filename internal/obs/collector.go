@@ -37,6 +37,23 @@ func (c *Collector) Tracer() func(Event) {
 	}
 }
 
+// Tee composes two event callbacks into one, tolerating nils: with one
+// side nil the other is returned directly (no wrapper cost), with both
+// nil the result is nil so tracing stays completely off. The sim harness
+// uses it to feed a provenance tracker next to a Collector's tracer.
+func Tee(a, b func(Event)) func(Event) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(e Event) {
+		a(e)
+		b(e)
+	}
+}
+
 // Attach installs the collector's tracer on net if the network supports
 // tracing, reporting whether events will flow. A nil collector or a
 // network without instrumentation leaves net untouched.

@@ -74,6 +74,12 @@ const (
 	// KindLost: the delivery layer abandoned the packet at Node (retry
 	// budget exhausted or loss timeout exceeded) and reported it lost.
 	KindLost
+	// KindInject: the NIC at Node accepted the message from the harness.
+	// Emitted exactly once per message by both simulators, it anchors
+	// per-packet latency provenance: the gap to the first launch is the
+	// source-queue wait. (Declared after the lifecycle kinds so existing
+	// kind values stay stable.)
+	KindInject
 
 	// NumKinds bounds Kind for dense per-kind arrays.
 	NumKinds
@@ -114,6 +120,8 @@ func (k Kind) String() string {
 		return "starve"
 	case KindLost:
 		return "lost"
+	case KindInject:
+		return "inject"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -79,24 +79,80 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	f := NewTraceFile(&buf)
 	f.Process(0, "phastlane", 2, 2)
 	tr := f.Tracer(0)
+	tr(Event{Cycle: 5, Kind: KindInject, MsgID: 7, Node: 1, Dir: mesh.Local})
 	tr(Event{Cycle: 5, Kind: KindLaunch, MsgID: 7, Node: 1, Dir: mesh.East})
 	tr(Event{Cycle: 6, Kind: KindEject, MsgID: 7, Node: 2, Dir: mesh.Local})
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if f.Events() != 2 {
-		t.Errorf("events = %d, want 2", f.Events())
+	if f.Events() != 3 {
+		t.Errorf("events = %d, want 3", f.Events())
 	}
 	n, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatalf("trace does not validate: %v\n%s", err, buf.String())
 	}
-	// 1 process_name + 4 thread_name + 2 events.
-	if n != 7 {
-		t.Errorf("validated %d events, want 7", n)
+	// 1 process_name + 4 thread_name + 3 lifecycle slices + 3 flow events.
+	if n != 11 {
+		t.Errorf("validated %d events, want 11", n)
 	}
 	if !strings.Contains(buf.String(), `"name":"launch"`) {
 		t.Errorf("trace missing launch event:\n%s", buf.String())
+	}
+	// The lifecycle must be linked by a flow: one start at the inject,
+	// steps along the way, one binding end at the eject.
+	s := buf.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"t"`, `"ph":"f"`, `"bp":"e"`, `"cat":"flow"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing flow fragment %s:\n%s", want, s)
+		}
+	}
+}
+
+// TestTraceFileFlowAnchors: flow events only make sense bound to a
+// duration slice on the same (pid, tid, ts); lifecycle events must be
+// written as "X" slices and non-lifecycle kinds stay instants.
+func TestTraceFileFlowAnchors(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewTraceFile(&buf)
+	tr := f.Tracer(3)
+	tr(Event{Cycle: 9, Kind: KindBuffer, MsgID: 4, Node: 6, Dir: mesh.West})
+	tr(Event{Cycle: 9, Kind: KindPass, MsgID: 4, Node: 7, Dir: mesh.West})
+	tr(Event{Cycle: 9, Kind: KindCreditStall, MsgID: 0, Node: 7, Dir: mesh.West})
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"name":"buffer","cat":"net","ph":"X"`) {
+		t.Errorf("buffer event not a slice anchor:\n%s", s)
+	}
+	if !strings.Contains(s, `"name":"pass","cat":"net","ph":"i"`) {
+		t.Errorf("pass event not an instant:\n%s", s)
+	}
+	// MsgID-0 events describe the topology, not one packet: no flow.
+	if strings.Contains(s, `"name":"msg 0"`) {
+		t.Errorf("creditstall grew a flow arrow:\n%s", s)
+	}
+	if f.Events() != 3 {
+		t.Errorf("events = %d, want 3", f.Events())
+	}
+}
+
+func TestTraceFileSliceAndThread(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewTraceFile(&buf)
+	f.ProcessName(9, "why:optical")
+	f.Thread(9, 0, "msg 12 (140 cyc)")
+	f.Slice(9, 0, "vc-alloc-wait", 100, 40, `{"node":5}`)
+	f.Flow(9, 0, "s", 12, 100)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil || n != 4 {
+		t.Fatalf("slice/thread trace: n=%d err=%v\n%s", n, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"ph":"X","ts":100,"dur":40`) {
+		t.Errorf("slice not written:\n%s", buf.String())
 	}
 }
 
@@ -225,6 +281,21 @@ func TestCollectorTracer(t *testing.T) {
 	}
 	if c.Attach(42) {
 		t.Error("attach to non-traceable succeeded")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee(nil, nil) != nil")
+	}
+	var a, b int
+	fa := func(Event) { a++ }
+	fb := func(Event) { b++ }
+	Tee(fa, nil)(Event{})
+	Tee(nil, fb)(Event{})
+	Tee(fa, fb)(Event{})
+	if a != 2 || b != 2 {
+		t.Errorf("tee fan-out: a=%d b=%d, want 2 2", a, b)
 	}
 }
 

@@ -58,12 +58,90 @@ func (f *TraceFile) Process(pid int, name string, width, height int) {
 	}
 }
 
+// ProcessName labels a process without node threads; per-packet
+// provenance tracks name their own swimlanes through Thread.
+func (f *TraceFile) ProcessName(pid int, name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.write(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, name))
+}
+
+// Thread labels one swimlane under pid.
+func (f *TraceFile) Thread(pid, tid int, name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.write(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, pid, tid, name))
+}
+
+// Slice emits a complete-duration event ("ph":"X") of dur cycles.
+// argsJSON, when non-empty, must be a complete JSON object literal.
+func (f *TraceFile) Slice(pid, tid int, name string, ts, dur int64, argsJSON string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	line := fmt.Sprintf(`{"name":%q,"cat":"prov","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d`, name, ts, dur, pid, tid)
+	if argsJSON != "" {
+		line += `,"args":` + argsJSON
+	}
+	f.write(line + "}")
+}
+
+// Flow emits one flow event: step is "s" (start), "t" (step) or "f"
+// (end). Flow events bind to the duration slice enclosing ts on
+// (pid, tid), which is why Tracer anchors lifecycle events as 1-cycle
+// slices. Callers hold no lock.
+func (f *TraceFile) Flow(pid, tid int, step string, id uint64, ts int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flowLocked(pid, tid, step, id, ts)
+}
+
+// flowLocked writes a flow event; callers hold mu. Flow ids are
+// namespaced by pid so the same message traced by two networks in one
+// file does not grow arrows across processes.
+func (f *TraceFile) flowLocked(pid, tid int, step string, id uint64, ts int64) {
+	line := fmt.Sprintf(`{"name":"msg %d","cat":"flow","ph":%q,"id":%d,"ts":%d,"pid":%d,"tid":%d`,
+		id, step, flowID(pid, id), ts, pid, tid)
+	if step == "f" {
+		line += `,"bp":"e"`
+	}
+	f.write(line + "}")
+}
+
+// flowID namespaces a message's flow arrows per process.
+func flowID(pid int, msgID uint64) uint64 { return uint64(pid+1)<<48 ^ msgID }
+
+// flowStep maps lifecycle kinds to the flow phase that links a packet's
+// inject through its intermediate stops to its ejection; other kinds
+// (pass, switch, stalls) stay plain instants to keep traces lean.
+func flowStep(k Kind) (string, bool) {
+	switch k {
+	case KindInject:
+		return "s", true
+	case KindLaunch, KindBuffer, KindDrop, KindRetry:
+		return "t", true
+	case KindEject, KindTap:
+		return "f", true
+	}
+	return "", false
+}
+
 // Tracer returns a network tracer that records every event under pid.
+// Lifecycle events (inject, launch, buffer, drop, retry, eject, tap) are
+// written as 1-cycle slices carrying a flow event, so the trace UI draws
+// arrows from a packet's injection through every stop to its ejection;
+// all other kinds remain instant events. Events() counts router events,
+// not JSON objects.
 func (f *TraceFile) Tracer(pid int) func(Event) {
 	return func(e Event) {
 		f.mu.Lock()
-		f.write(fmt.Sprintf(`{"name":%q,"cat":"net","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"msg":%d,"dir":%q}}`,
-			e.Kind.String(), e.Cycle, pid, e.Node, e.MsgID, e.Dir.String()))
+		if step, ok := flowStep(e.Kind); ok && e.MsgID != 0 {
+			f.write(fmt.Sprintf(`{"name":%q,"cat":"net","ph":"X","ts":%d,"dur":1,"pid":%d,"tid":%d,"args":{"msg":%d,"dir":%q}}`,
+				e.Kind.String(), e.Cycle, pid, e.Node, e.MsgID, e.Dir.String()))
+			f.flowLocked(pid, int(e.Node), step, e.MsgID, e.Cycle)
+		} else {
+			f.write(fmt.Sprintf(`{"name":%q,"cat":"net","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"msg":%d,"dir":%q}}`,
+				e.Kind.String(), e.Cycle, pid, e.Node, e.MsgID, e.Dir.String()))
+		}
 		f.events++
 		f.mu.Unlock()
 	}

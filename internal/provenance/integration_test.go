@@ -1,0 +1,125 @@
+package provenance_test
+
+import (
+	"reflect"
+	"testing"
+
+	"phastlane/internal/core"
+	"phastlane/internal/electrical"
+	"phastlane/internal/exp"
+	"phastlane/internal/provenance"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// runProv drives one synthetic 8x8 run with a provenance tracker teed
+// into the event stream and returns its report.
+func runProv(net sim.Network, rate float64, seed int64) (*provenance.Report, sim.Result) {
+	tr := provenance.New(provenance.Config{K: 32, Seed: seed, Width: 8, Height: 8})
+	res := sim.RunRate(net, sim.RateConfig{
+		Pattern: traffic.UniformRandom(net.Nodes(), seed),
+		Rate:    rate, Warmup: 200, Measure: 800, Seed: seed,
+		Prov: tr,
+	})
+	return tr.Report("it"), res
+}
+
+// TestAttributionCoversLatencyBothSims is the headline acceptance check:
+// for every sampled slow packet in both simulators, the named stages sum
+// to >= 95% of the measured end-to-end latency, and the stage spans
+// (named + residue) partition it exactly.
+func TestAttributionCoversLatencyBothSims(t *testing.T) {
+	cases := []struct {
+		name string
+		net  sim.Network
+		rate float64
+	}{
+		{"optical", core.New(core.DefaultConfig()), 0.30},
+		{"electrical", electrical.New(electrical.DefaultConfig()), 0.20},
+	}
+	for _, tc := range cases {
+		rep, res := runProv(tc.net, tc.rate, 11)
+		if rep.Cohort == 0 {
+			t.Fatalf("%s: empty cohort (delivered %d)", tc.name, res.Run.Delivered)
+		}
+		if rep.Completed != res.Run.Delivered {
+			t.Errorf("%s: tracker completed %d != harness delivered %d",
+				tc.name, rep.Completed, res.Run.Delivered)
+		}
+		for _, p := range rep.Packets {
+			var sum int64
+			for _, s := range p.Stages {
+				sum += s.Cycles
+			}
+			if sum != p.Latency {
+				t.Errorf("%s: msg %d stage cycles %d != latency %d",
+					tc.name, p.ID, sum, p.Latency)
+			}
+		}
+		if rep.AttributionMin < 0.95 {
+			t.Errorf("%s: cohort attribution min %.3f < 0.95\n%s",
+				tc.name, rep.AttributionMin, rep.Format(10))
+		}
+		if rep.AttributionOverall < 0.95 {
+			t.Errorf("%s: overall attribution %.3f < 0.95", tc.name, rep.AttributionOverall)
+		}
+		// The harness and the tracker measure the same latency.
+		if got, want := rep.Latency.Mean, res.Run.Latency.Mean(); got != want {
+			t.Errorf("%s: tracker mean %.3f != harness mean %.3f", tc.name, got, want)
+		}
+	}
+}
+
+// cohortSig is what determinism is asserted over: identity and latency
+// of every sampled packet plus its full stage decomposition.
+type cohortSig struct {
+	ID      uint64
+	Latency int64
+	Stages  []provenance.StageShare
+}
+
+func signature(rep *provenance.Report) []cohortSig {
+	out := make([]cohortSig, 0, len(rep.Packets))
+	for _, p := range rep.Packets {
+		out = append(out, cohortSig{ID: p.ID, Latency: p.Latency, Stages: p.Stages})
+	}
+	return out
+}
+
+// TestReservoirDeterminismWorkers runs the same four-point grid at one
+// worker and at eight and requires bit-identical cohorts: the sampled
+// set must be a function of the run, not of scheduling.
+func TestReservoirDeterminismWorkers(t *testing.T) {
+	points := []int64{3, 4, 5, 6}
+	run := func(workers int) [][]cohortSig {
+		return exp.Run(points, func(i int, seed int64) []cohortSig {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			rep, _ := runProv(core.New(cfg), 0.25, seed)
+			return signature(rep)
+		}, exp.Options{Workers: workers})
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("cohorts differ between 1 and 8 workers:\n1: %+v\n8: %+v", serial, parallel)
+	}
+}
+
+// TestReservoirKernelEquivalence runs the event-driven electrical kernel
+// and the dense reference against the same configuration and requires
+// identical cohorts and stage decompositions — the provenance layer sees
+// through the kernel optimisation.
+func TestReservoirKernelEquivalence(t *testing.T) {
+	cfg := electrical.DefaultConfig()
+	cfg.Seed = 5
+	repEvent, _ := runProv(electrical.New(cfg), 0.20, 5)
+	repRef, _ := runProv(electrical.NewReference(cfg), 0.20, 5)
+	if !reflect.DeepEqual(signature(repEvent), signature(repRef)) {
+		t.Fatalf("cohorts differ between kernels:\nevent: %+v\nref:   %+v",
+			signature(repEvent), signature(repRef))
+	}
+	if !reflect.DeepEqual(repEvent.Stages, repRef.Stages) {
+		t.Fatalf("stage decompositions differ:\nevent: %+v\nref:   %+v",
+			repEvent.Stages, repRef.Stages)
+	}
+}

@@ -1,0 +1,38 @@
+package provenance
+
+import (
+	"fmt"
+
+	"phastlane/internal/obs"
+)
+
+// ExportPerfetto writes the sampled span trees into tf as one extra
+// trace process: one thread per slow packet (slowest first), one
+// duration slice per attributed span, and flow arrows chaining each
+// packet's spans from injection to delivery. Loads next to the per-node
+// network tracks in ui.perfetto.dev.
+func (t *Tracker) ExportPerfetto(tf *obs.TraceFile, pid int, name string) {
+	tf.ProcessName(pid, "why:"+name+" slowest packets")
+	for rank, l := range t.res.cohort() {
+		tf.Thread(pid, rank, fmt.Sprintf("#%d msg %d (%d cyc)", rank+1, l.id, l.latency))
+		var spans []Span
+		Walk(l.inject, l.complete, l.events, func(sp Span) {
+			spans = append(spans, sp)
+		})
+		for i, sp := range spans {
+			args := fmt.Sprintf(`{"msg":%d,"node":%d,"dir":%q}`, l.id, sp.Node, sp.Dir.String())
+			tf.Slice(pid, rank, sp.Stage.String(), sp.Start, sp.Cycles(), args)
+			if len(spans) < 2 {
+				continue
+			}
+			step := "t"
+			switch i {
+			case 0:
+				step = "s"
+			case len(spans) - 1:
+				step = "f"
+			}
+			tf.Flow(pid, rank, step, l.id, sp.Start)
+		}
+	}
+}

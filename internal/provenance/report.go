@@ -1,0 +1,384 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/stats"
+)
+
+// Report is the tail-blame report of one run: the per-stage latency
+// decomposition over all completed packets and over the sampled slowest
+// cohort, routers and links ranked by queueing time contributed to the
+// sampled slow packets, and the sampled packets themselves with their
+// span trees. It round-trips through encoding/json for the CI gate.
+type Report struct {
+	Name       string `json:"name"`
+	Completed  int64  `json:"completed"`
+	Lost       int64  `json:"lost"`
+	Unresolved int    `json:"unresolved"`
+
+	Latency LatencySummary `json:"latency_cycles"`
+
+	// SampleK is the configured cohort size; Cohort the packets
+	// actually retained; TailThreshold the fastest retained latency.
+	SampleK       int   `json:"sample_k"`
+	Cohort        int   `json:"cohort"`
+	TailThreshold int64 `json:"tail_threshold_cycles"`
+
+	// Stages decomposes all completed packets; TailStages only the
+	// sampled cohort.
+	Stages     []StageShare `json:"stages"`
+	TailStages []StageShare `json:"tail_stages"`
+
+	// Blame ranks routers by queueing cycles contributed to sampled
+	// slow packets; Links the same per outgoing link.
+	Blame []BlameRow `json:"blame"`
+	Links []LinkRow  `json:"links"`
+
+	// Packets are the sampled cohort, slowest first.
+	Packets []PacketReport `json:"packets"`
+
+	// AttributionOverall is the named-stage share of all completed
+	// latency; AttributionMin/Mean summarise the sampled packets.
+	AttributionOverall float64 `json:"attribution_overall"`
+	AttributionMin     float64 `json:"attribution_min"`
+	AttributionMean    float64 `json:"attribution_mean"`
+}
+
+// LatencySummary mirrors the harness latency distribution.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// StageShare is one stage's share of a latency total.
+type StageShare struct {
+	Stage  string  `json:"stage"`
+	Cycles int64   `json:"cycles"`
+	Share  float64 `json:"share"`
+}
+
+// BlameRow ranks one router.
+type BlameRow struct {
+	Node    int     `json:"node"`
+	X       int     `json:"x"`
+	Y       int     `json:"y"`
+	Cycles  int64   `json:"cycles"`
+	Share   float64 `json:"share"`
+	Packets int     `json:"packets"`
+}
+
+// LinkRow ranks one outgoing link by queueing time spent waiting on it.
+type LinkRow struct {
+	Node   int    `json:"node"`
+	Dir    string `json:"dir"`
+	Cycles int64  `json:"cycles"`
+}
+
+// PacketReport is one sampled slow packet.
+type PacketReport struct {
+	ID         uint64       `json:"id"`
+	Src        int          `json:"src"`
+	Inject     int64        `json:"inject"`
+	Complete   int64        `json:"complete"`
+	Latency    int64        `json:"latency"`
+	Attributed float64      `json:"attributed"`
+	Stages     []StageShare `json:"stages"`
+	Spans      []SpanReport `json:"spans"`
+}
+
+// SpanReport is one attributed span of a sampled packet.
+type SpanReport struct {
+	Stage  string `json:"stage"`
+	Node   int    `json:"node"`
+	Dir    string `json:"dir"`
+	Start  int64  `json:"start"`
+	Cycles int64  `json:"cycles"`
+}
+
+// share divides, tolerating a zero denominator.
+func share(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// stageShares renders a dense stage array, dropping empty stages.
+func stageShares(totals *[NumStages]int64, whole int64) []StageShare {
+	out := make([]StageShare, 0, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		if totals[s] == 0 {
+			continue
+		}
+		out = append(out, StageShare{Stage: s.String(), Cycles: totals[s], Share: share(totals[s], whole)})
+	}
+	return out
+}
+
+// Report aggregates the tracker's state into the tail-blame report.
+// The sampled packets' event logs are replayed through the same Walk
+// that computed their stage totals, so spans, blame and stage shares
+// agree by construction.
+func (t *Tracker) Report(name string) *Report {
+	r := &Report{
+		Name:       name,
+		Completed:  t.completed,
+		Lost:       t.lost,
+		Unresolved: len(t.logs),
+		SampleK:    t.cfg.K,
+		Latency: LatencySummary{
+			Mean: t.lat.Mean(),
+			P50:  t.lat.Percentile(50),
+			P95:  t.lat.Percentile(95),
+			P99:  t.lat.Percentile(99),
+			Max:  t.lat.Max(),
+		},
+		Stages:             stageShares(&t.totals, t.latSum),
+		AttributionOverall: 1 - share(t.totals[StageOther], t.latSum),
+	}
+	if t.latSum == 0 {
+		r.AttributionOverall = 0
+	}
+
+	cohort := t.res.cohort()
+	r.Cohort = len(cohort)
+	if len(cohort) > 0 {
+		r.TailThreshold = cohort[len(cohort)-1].latency
+	}
+
+	var tailTotals [NumStages]int64
+	var tailLat int64
+	blame := map[mesh.NodeID]*BlameRow{}
+	links := map[[2]int]int64{} // {node, dir} -> cycles
+	r.AttributionMin = 1
+	for _, l := range cohort {
+		pr := PacketReport{
+			ID: l.id, Src: int(l.src),
+			Inject: l.inject, Complete: l.complete, Latency: l.latency,
+			Attributed: l.attributed(),
+			Stages:     stageShares(&l.stages, l.latency),
+		}
+		blamed := map[mesh.NodeID]bool{}
+		Walk(l.inject, l.complete, l.events, func(sp Span) {
+			pr.Spans = append(pr.Spans, SpanReport{
+				Stage: sp.Stage.String(), Node: int(sp.Node), Dir: sp.Dir.String(),
+				Start: sp.Start, Cycles: sp.Cycles(),
+			})
+			tailTotals[sp.Stage] += sp.Cycles()
+			if !sp.Stage.Queueing() || sp.Node < 0 {
+				return
+			}
+			row, ok := blame[sp.Node]
+			if !ok {
+				row = &BlameRow{Node: int(sp.Node)}
+				if t.cfg.Width > 0 {
+					row.X, row.Y = int(sp.Node)%t.cfg.Width, int(sp.Node)/t.cfg.Width
+				}
+				blame[sp.Node] = row
+			}
+			row.Cycles += sp.Cycles()
+			if !blamed[sp.Node] {
+				blamed[sp.Node] = true
+				row.Packets++
+			}
+			if sp.Dir != mesh.Local {
+				links[[2]int{int(sp.Node), int(sp.Dir)}] += sp.Cycles()
+			}
+		})
+		tailLat += l.latency
+		if pr.Attributed < r.AttributionMin {
+			r.AttributionMin = pr.Attributed
+		}
+		r.AttributionMean += pr.Attributed
+		r.Packets = append(r.Packets, pr)
+	}
+	if len(cohort) > 0 {
+		r.AttributionMean /= float64(len(cohort))
+	} else {
+		r.AttributionMin, r.AttributionMean = 0, 0
+	}
+	r.TailStages = stageShares(&tailTotals, tailLat)
+
+	var queueTotal int64
+	for _, row := range blame {
+		queueTotal += row.Cycles
+	}
+	for _, row := range blame {
+		row.Share = share(row.Cycles, queueTotal)
+		r.Blame = append(r.Blame, *row)
+	}
+	sort.Slice(r.Blame, func(i, j int) bool {
+		if r.Blame[i].Cycles != r.Blame[j].Cycles {
+			return r.Blame[i].Cycles > r.Blame[j].Cycles
+		}
+		return r.Blame[i].Node < r.Blame[j].Node
+	})
+	for k, c := range links {
+		r.Links = append(r.Links, LinkRow{Node: k[0], Dir: mesh.Dir(k[1]).String(), Cycles: c})
+	}
+	sort.Slice(r.Links, func(i, j int) bool {
+		a, b := r.Links[i], r.Links[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Dir < b.Dir
+	})
+	return r
+}
+
+// StageTable renders the all-packets and tail-cohort decompositions side
+// by side.
+func (r *Report) StageTable() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Latency decomposition: %s", r.Name),
+		Columns: []string{"stage", "cycles", "share", "tail-cycles", "tail-share"},
+	}
+	tail := map[string]StageShare{}
+	for _, s := range r.TailStages {
+		tail[s.Stage] = s
+	}
+	seen := map[string]bool{}
+	for _, s := range r.Stages {
+		ts := tail[s.Stage]
+		t.AddRow(s.Stage, fmt.Sprintf("%d", s.Cycles), pct(s.Share),
+			fmt.Sprintf("%d", ts.Cycles), pct(ts.Share))
+		seen[s.Stage] = true
+	}
+	for _, s := range r.TailStages {
+		if !seen[s.Stage] {
+			t.AddRow(s.Stage, "0", pct(0), fmt.Sprintf("%d", s.Cycles), pct(s.Share))
+		}
+	}
+	return t
+}
+
+// BlameTable renders the top routers by queueing time contributed to the
+// sampled slow packets.
+func (r *Report) BlameTable(top int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Routers by queueing time in sampled slow packets: %s", r.Name),
+		Columns: []string{"node", "x", "y", "queue-cycles", "share", "packets"},
+	}
+	for i, row := range r.Blame {
+		if top > 0 && i >= top {
+			break
+		}
+		t.AddRow(fmt.Sprintf("%d", row.Node), fmt.Sprintf("%d", row.X), fmt.Sprintf("%d", row.Y),
+			fmt.Sprintf("%d", row.Cycles), pct(row.Share), fmt.Sprintf("%d", row.Packets))
+	}
+	return t
+}
+
+// LinkTable renders the top outgoing links by queueing time.
+func (r *Report) LinkTable(top int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Links by queueing time in sampled slow packets: %s", r.Name),
+		Columns: []string{"node", "dir", "queue-cycles"},
+	}
+	for i, row := range r.Links {
+		if top > 0 && i >= top {
+			break
+		}
+		t.AddRow(fmt.Sprintf("%d", row.Node), row.Dir, fmt.Sprintf("%d", row.Cycles))
+	}
+	return t
+}
+
+// PacketTable summarises the slowest sampled packets.
+func (r *Report) PacketTable(top int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Slowest sampled packets: %s", r.Name),
+		Columns: []string{"msg", "src", "inject", "latency", "attributed", "dominant-stage"},
+	}
+	for i, p := range r.Packets {
+		if top > 0 && i >= top {
+			break
+		}
+		dom := ""
+		var domC int64 = -1
+		for _, s := range p.Stages {
+			if s.Cycles > domC {
+				dom, domC = s.Stage, s.Cycles
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", p.ID), fmt.Sprintf("%d", p.Src),
+			fmt.Sprintf("%d", p.Inject), fmt.Sprintf("%d", p.Latency),
+			pct(p.Attributed), fmt.Sprintf("%s (%d)", dom, domC))
+	}
+	return t
+}
+
+// SpanTree renders one sampled packet's hop-by-hop span tree: spans are
+// grouped under the node where the time was spent, in order.
+func (p *PacketReport) SpanTree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "msg %d: %d cycles, src %d, inject @%d, delivered @%d (%.0f%% attributed)\n",
+		p.ID, p.Latency, p.Src, p.Inject, p.Complete, p.Attributed*100)
+	// Group consecutive spans by node into hops.
+	for i := 0; i < len(p.Spans); {
+		j := i
+		for j < len(p.Spans) && p.Spans[j].Node == p.Spans[i].Node {
+			j++
+		}
+		hopBranch, spanPrefix := "├─", "│    "
+		if j == len(p.Spans) {
+			hopBranch, spanPrefix = "└─", "     "
+		}
+		fmt.Fprintf(&b, "  %s @%d\n", hopBranch, p.Spans[i].Node)
+		for k := i; k < j; k++ {
+			sp := p.Spans[k]
+			branch := "├─"
+			if k == j-1 {
+				branch = "└─"
+			}
+			dir := ""
+			if sp.Dir != "L" {
+				dir = " ->" + sp.Dir
+			}
+			fmt.Fprintf(&b, "  %s%s %-13s c%d +%d%s\n", spanPrefix, branch, sp.Stage, sp.Start, sp.Cycles, dir)
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// pct formats a share.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Format renders the full human-readable report: header, stage
+// decomposition, router/link blame, the slowest packets, and the
+// slowest packet's span tree. top caps table rows (0 = all).
+func (r *Report) Format(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tail-blame report: %s — %d completed, %d lost, %d unresolved; sampled %d slowest (tail >= %d cycles)\n",
+		r.Name, r.Completed, r.Lost, r.Unresolved, r.Cohort, r.TailThreshold)
+	fmt.Fprintf(&b, "latency cycles: mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		stats.F(r.Latency.Mean), stats.F(r.Latency.P50), stats.F(r.Latency.P95),
+		stats.F(r.Latency.P99), stats.F(r.Latency.Max))
+	fmt.Fprintf(&b, "attribution: overall %s, cohort mean %s, cohort min %s\n\n",
+		pct(r.AttributionOverall), pct(r.AttributionMean), pct(r.AttributionMin))
+	b.WriteString(r.StageTable().String())
+	b.WriteString("\n\n")
+	b.WriteString(r.BlameTable(top).String())
+	b.WriteString("\n\n")
+	if len(r.Links) > 0 {
+		b.WriteString(r.LinkTable(top).String())
+		b.WriteString("\n\n")
+	}
+	b.WriteString(r.PacketTable(top).String())
+	b.WriteString("\n\n")
+	if len(r.Packets) > 0 {
+		b.WriteString(r.Packets[0].SpanTree())
+	}
+	return b.String()
+}

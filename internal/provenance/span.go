@@ -1,0 +1,192 @@
+package provenance
+
+import (
+	"fmt"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
+)
+
+// Stage classifies one attributed segment of a packet's life. The
+// taxonomy covers both simulators: the optical lifecycle contributes
+// backoff, buffer-wait and wire stages, the electrical pipeline
+// contributes VC-alloc, switch and link stages, and both share the NIC
+// queue and the closing ejection cycle.
+type Stage int
+
+// Stages, in rough lifecycle order.
+const (
+	// StageNICQueue: source-NIC residency — from harness injection (or
+	// a retry re-queue) to the departure onto the network, including
+	// trace-replay stalls behind a full NIC.
+	StageNICQueue Stage = iota
+	// StageBackoff: an optical drop's randomized-backoff window, from
+	// the drop signal returning to the owner until the retry re-queues.
+	StageBackoff
+	// StageBufferWait: optical interim-buffer residency — captured at a
+	// mid-route router, waiting to win relaunch arbitration.
+	StageBufferWait
+	// StageVCWait: electrical wait for a downstream virtual-channel
+	// grant (includes credit starvation).
+	StageVCWait
+	// StageSwitchWait: electrical wait from VC grant to crossbar
+	// traversal (switch allocation plus the router pipeline).
+	StageSwitchWait
+	// StageLink: electrical link flight into the next arrival buffer.
+	StageLink
+	// StageWire: optical waveguide flight (multi-hop transit completes
+	// within one cycle, so this stage is usually zero).
+	StageWire
+	// StageEject: the closing delivery cycle(s) at the destination,
+	// from the final arrival-buffer capture to ejection.
+	StageEject
+	// StageOther: residue no classification rule claims — nonzero only
+	// when the event log is incomplete (e.g. merged multicast streams).
+	StageOther
+
+	// NumStages bounds Stage for dense arrays.
+	NumStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageNICQueue:
+		return "nic-queue"
+	case StageBackoff:
+		return "retry-backoff"
+	case StageBufferWait:
+		return "buffer-wait"
+	case StageVCWait:
+		return "vc-alloc-wait"
+	case StageSwitchWait:
+		return "switch-wait"
+	case StageLink:
+		return "link"
+	case StageWire:
+		return "wire"
+	case StageEject:
+		return "eject"
+	case StageOther:
+		return "other"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Queueing reports whether the stage is time spent waiting for a
+// resource — the stages that blame a router in the tail report. Flight
+// stages (wire, link) and the ejection cycle are structural latency.
+func (s Stage) Queueing() bool {
+	switch s {
+	case StageNICQueue, StageBackoff, StageBufferWait, StageVCWait, StageSwitchWait:
+		return true
+	}
+	return false
+}
+
+// Span is one attributed [Start, End) segment of a packet's latency.
+type Span struct {
+	Stage Stage
+	// Node is where the time was spent: for queueing stages the router
+	// to blame, for flight stages the hop being traversed.
+	Node mesh.NodeID
+	// Dir is the outgoing direction the packet was waiting on or moving
+	// toward (Local when not meaningful).
+	Dir        mesh.Dir
+	Start, End int64
+}
+
+// Cycles is the span's length.
+func (sp Span) Cycles() int64 { return sp.End - sp.Start }
+
+// Walk replays a packet's ordered event log, calling fn for every
+// non-empty attributed span. inject and complete are the harness-side
+// bounds: the harness measures latency as complete-inject+1, and the
+// emitted spans partition exactly that interval — each event pair's gap
+// is classified by the transition between kinds, and the closing
+// delivery cycle lands in StageEject. Gaps no rule claims fall into
+// StageOther rather than disappearing, so the spans always sum to the
+// measured latency and the attributed fraction is honest.
+func Walk(inject, complete int64, events []obs.Event, fn func(Span)) {
+	if len(events) == 0 {
+		// No event stream (untraceable network): everything is residue.
+		fn(Span{Stage: StageOther, Node: -1, Dir: mesh.Local, Start: inject, End: complete + 1})
+		return
+	}
+	prevCycle := inject
+	prev := obs.Event{Cycle: inject, Kind: obs.KindInject, Node: events[0].Node, Dir: mesh.Local}
+	lastDrop := prev // most recent drop event, for backoff blame
+	for _, e := range events {
+		if e.Cycle > complete {
+			break // stragglers past delivery (merged multicast streams)
+		}
+		if dt := e.Cycle - prevCycle; dt > 0 {
+			st, node, dir := classify(prev, e, lastDrop)
+			fn(Span{Stage: st, Node: node, Dir: dir, Start: prevCycle, End: e.Cycle})
+		}
+		if e.Kind == obs.KindDrop {
+			lastDrop = e
+		}
+		prevCycle, prev = e.Cycle, e
+	}
+	// The harness counts the delivery cycle inclusively
+	// (latency = complete-inject+1): the closing cycle is the ejection.
+	fn(Span{Stage: StageEject, Node: prev.Node, Dir: mesh.Local, Start: prevCycle, End: complete + 1})
+}
+
+// classify attributes the gap ending at cur by the (prev kind, cur kind)
+// transition. The rules mirror the simulators' emission points: see the
+// stage taxonomy above and DESIGN.md §12 for the transition table.
+func classify(prev, cur, lastDrop obs.Event) (Stage, mesh.NodeID, mesh.Dir) {
+	switch cur.Kind {
+	case obs.KindInject:
+		// Trace replay: readiness to NIC acceptance is a source stall.
+		return StageNICQueue, cur.Node, mesh.Local
+	case obs.KindLaunch:
+		switch prev.Kind {
+		case obs.KindInject:
+			return StageNICQueue, cur.Node, cur.Dir
+		case obs.KindBuffer:
+			// Optical interim stop: blamed on the buffering router
+			// toward the direction it was waiting to relaunch.
+			return StageBufferWait, prev.Node, prev.Dir
+		case obs.KindRetry:
+			// Re-queued after backoff: NIC residency again.
+			return StageNICQueue, cur.Node, cur.Dir
+		}
+	case obs.KindRetry:
+		// The backoff window is blamed on the router that dropped.
+		return StageBackoff, lastDrop.Node, lastDrop.Dir
+	case obs.KindVCAlloc:
+		if prev.Kind == obs.KindBuffer || prev.Kind == obs.KindLaunch {
+			return StageVCWait, cur.Node, cur.Dir
+		}
+	case obs.KindSwitch:
+		if prev.Kind == obs.KindVCAlloc {
+			return StageSwitchWait, cur.Node, cur.Dir
+		}
+	case obs.KindBuffer:
+		switch prev.Kind {
+		case obs.KindSwitch:
+			return StageLink, prev.Node, prev.Dir
+		case obs.KindLaunch, obs.KindPass:
+			return StageWire, prev.Node, prev.Dir
+		}
+	case obs.KindPass, obs.KindDrop:
+		if prev.Kind == obs.KindLaunch || prev.Kind == obs.KindPass {
+			return StageWire, prev.Node, prev.Dir
+		}
+	case obs.KindEject, obs.KindTap:
+		switch prev.Kind {
+		case obs.KindBuffer:
+			// Buffered at the destination, waiting for ejection.
+			return StageEject, cur.Node, mesh.Local
+		case obs.KindSwitch:
+			return StageLink, prev.Node, prev.Dir
+		case obs.KindLaunch, obs.KindPass:
+			return StageWire, prev.Node, prev.Dir
+		}
+	}
+	return StageOther, cur.Node, mesh.Local
+}

@@ -1,0 +1,181 @@
+package provenance
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
+)
+
+// collect runs Walk and returns the spans.
+func collect(inject, complete int64, events []obs.Event) []Span {
+	var out []Span
+	Walk(inject, complete, events, func(sp Span) { out = append(out, sp) })
+	return out
+}
+
+// checkPartition asserts the spans tile [inject, complete+1) exactly.
+func checkPartition(t *testing.T, inject, complete int64, spans []Span) {
+	t.Helper()
+	at := inject
+	var sum int64
+	for i, sp := range spans {
+		if sp.Start != at {
+			t.Fatalf("span %d starts at %d, want %d (gap or overlap)", i, sp.Start, at)
+		}
+		if sp.End <= sp.Start {
+			t.Fatalf("span %d is empty or inverted: [%d, %d)", i, sp.Start, sp.End)
+		}
+		at = sp.End
+		sum += sp.Cycles()
+	}
+	if at != complete+1 {
+		t.Fatalf("spans end at %d, want %d", at, complete+1)
+	}
+	if want := complete - inject + 1; sum != want {
+		t.Fatalf("span cycles sum to %d, want latency %d", sum, want)
+	}
+}
+
+func TestWalkEmptyLogIsAllOther(t *testing.T) {
+	spans := collect(10, 19, nil)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Stage != StageOther || spans[0].Cycles() != 10 {
+		t.Fatalf("got %v, want 10-cycle other span", spans[0])
+	}
+	checkPartition(t, 10, 19, spans)
+}
+
+func TestWalkOpticalLifecycle(t *testing.T) {
+	// Inject at 100, launch at 103 (NIC queue), dropped in flight at 103
+	// by node 5, retry at 109 (backoff), relaunch at 112 (NIC queue),
+	// buffered mid-route at 112, relaunch from buffer at 117
+	// (buffer-wait), delivered at 117 (eject closes the final cycle).
+	ev := []obs.Event{
+		{Cycle: 100, Kind: obs.KindInject, MsgID: 1, Node: 0, Dir: mesh.Local},
+		{Cycle: 103, Kind: obs.KindLaunch, MsgID: 1, Node: 0, Dir: mesh.East},
+		{Cycle: 103, Kind: obs.KindDrop, MsgID: 1, Node: 5, Dir: mesh.East},
+		{Cycle: 109, Kind: obs.KindRetry, MsgID: 1, Node: 0, Dir: mesh.Local},
+		{Cycle: 112, Kind: obs.KindLaunch, MsgID: 1, Node: 0, Dir: mesh.East},
+		{Cycle: 112, Kind: obs.KindBuffer, MsgID: 1, Node: 3, Dir: mesh.East},
+		{Cycle: 117, Kind: obs.KindLaunch, MsgID: 1, Node: 3, Dir: mesh.East},
+		{Cycle: 117, Kind: obs.KindEject, MsgID: 1, Node: 7, Dir: mesh.Local},
+	}
+	spans := collect(100, 117, ev)
+	checkPartition(t, 100, 117, spans)
+	want := []struct {
+		stage  Stage
+		node   mesh.NodeID
+		cycles int64
+	}{
+		{StageNICQueue, 0, 3}, // 100 -> 103
+		{StageBackoff, 5, 6},  // 103 -> 109, blamed on the dropping router
+		{StageNICQueue, 0, 3}, // 109 -> 112 (retry -> launch)
+		{StageBufferWait, 3, 5},
+		{StageEject, 7, 1}, // the inclusive delivery cycle
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(want))
+	}
+	for i, w := range want {
+		sp := spans[i]
+		if sp.Stage != w.stage || sp.Node != w.node || sp.Cycles() != w.cycles {
+			t.Errorf("span %d = %v (%s), want stage %s node %d cycles %d",
+				i, sp, sp.Stage, w.stage, w.node, w.cycles)
+		}
+	}
+}
+
+func TestWalkElectricalLifecycle(t *testing.T) {
+	// Inject at 50, NIC->VC at 52, VC grant at 55, crossbar at 56, link
+	// arrival at 57, local VC grant at 58, switch 59, buffered at
+	// destination 60, delivered at 61.
+	ev := []obs.Event{
+		{Cycle: 50, Kind: obs.KindInject, MsgID: 2, Node: 1, Dir: mesh.Local},
+		{Cycle: 52, Kind: obs.KindLaunch, MsgID: 2, Node: 1, Dir: mesh.Local},
+		{Cycle: 55, Kind: obs.KindVCAlloc, MsgID: 2, Node: 1, Dir: mesh.East},
+		{Cycle: 56, Kind: obs.KindSwitch, MsgID: 2, Node: 1, Dir: mesh.East},
+		{Cycle: 57, Kind: obs.KindBuffer, MsgID: 2, Node: 2, Dir: mesh.East},
+		{Cycle: 58, Kind: obs.KindVCAlloc, MsgID: 2, Node: 2, Dir: mesh.Local},
+		{Cycle: 59, Kind: obs.KindSwitch, MsgID: 2, Node: 2, Dir: mesh.Local},
+		{Cycle: 60, Kind: obs.KindBuffer, MsgID: 2, Node: 2, Dir: mesh.Local},
+		{Cycle: 61, Kind: obs.KindEject, MsgID: 2, Node: 2, Dir: mesh.Local},
+	}
+	spans := collect(50, 61, ev)
+	checkPartition(t, 50, 61, spans)
+	wantStages := []Stage{
+		StageNICQueue,   // 50 -> 52
+		StageVCWait,     // 52 -> 55
+		StageSwitchWait, // 55 -> 56
+		StageLink,       // 56 -> 57
+		StageVCWait,     // 57 -> 58
+		StageSwitchWait, // 58 -> 59
+		StageLink,       // 59 -> 60
+		StageEject,      // 60 -> 61 (buffer -> eject)
+		StageEject,      // 61 -> 62 closing delivery cycle
+	}
+	if len(spans) != len(wantStages) {
+		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(wantStages))
+	}
+	for i, w := range wantStages {
+		if spans[i].Stage != w {
+			t.Errorf("span %d stage = %s, want %s", i, spans[i].Stage, w)
+		}
+	}
+	// None of this clean unicast flight may fall into the residue bucket.
+	for _, sp := range spans {
+		if sp.Stage == StageOther {
+			t.Errorf("clean lifecycle produced an other span: %v", sp)
+		}
+	}
+}
+
+func TestWalkUnknownTransitionFallsToOther(t *testing.T) {
+	// eject -> eject is no rule's transition (merged multicast stream).
+	ev := []obs.Event{
+		{Cycle: 10, Kind: obs.KindEject, MsgID: 3, Node: 4},
+		{Cycle: 14, Kind: obs.KindEject, MsgID: 3, Node: 6},
+	}
+	spans := collect(8, 14, ev)
+	checkPartition(t, 8, 14, spans)
+	var other int64
+	for _, sp := range spans {
+		if sp.Stage == StageOther {
+			other += sp.Cycles()
+		}
+	}
+	// Both gaps are unclassified: the synthetic inject -> eject lead-in
+	// (8 -> 10) and the eject -> eject stream merge (10 -> 14).
+	if other != 6 {
+		t.Fatalf("other cycles = %d, want 6 (both unclassified gaps)", other)
+	}
+}
+
+func TestWalkIgnoresStragglersPastDelivery(t *testing.T) {
+	ev := []obs.Event{
+		{Cycle: 0, Kind: obs.KindInject, MsgID: 4, Node: 0},
+		{Cycle: 2, Kind: obs.KindLaunch, MsgID: 4, Node: 0, Dir: mesh.East},
+		{Cycle: 2, Kind: obs.KindTap, MsgID: 4, Node: 1},
+		{Cycle: 9, Kind: obs.KindEject, MsgID: 4, Node: 5}, // past complete=4
+	}
+	spans := collect(0, 4, ev)
+	checkPartition(t, 0, 4, spans)
+	last := spans[len(spans)-1]
+	if last.Stage != StageEject || last.Node != 1 {
+		t.Fatalf("closing span = %v, want eject at the tap node", last)
+	}
+}
+
+func TestStageQueueing(t *testing.T) {
+	queueing := map[Stage]bool{
+		StageNICQueue: true, StageBackoff: true, StageBufferWait: true,
+		StageVCWait: true, StageSwitchWait: true,
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if s.Queueing() != queueing[s] {
+			t.Errorf("%s.Queueing() = %v, want %v", s, s.Queueing(), queueing[s])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"phastlane/internal/mesh"
 	"phastlane/internal/obs"
 	"phastlane/internal/packet"
+	"phastlane/internal/provenance"
 	"phastlane/internal/stats"
 	"phastlane/internal/telemetry"
 	"phastlane/internal/trace"
@@ -124,17 +125,22 @@ func attachLoss(net Network, handler func(Loss)) {
 	}
 }
 
-// attachObs installs c's tracer on net when both sides support it and
-// returns the sampler the harness must drive, if any. This is the one
-// type-assertion through which every observability attachment flows.
-func attachObs(net Network, c *obs.Collector) *obs.Sampler {
-	if c == nil {
-		return nil
+// attachObs installs the run's event tap on net when both sides support
+// it — the collector's tracer teed with the provenance tracker's Observe
+// — and returns the sampler the harness must drive, if any. This is the
+// one type-assertion through which every observability attachment flows.
+func attachObs(net Network, c *obs.Collector, prov *provenance.Tracker) *obs.Sampler {
+	var pt func(obs.Event)
+	if prov != nil {
+		pt = prov.Observe
 	}
-	if tr := c.Tracer(); tr != nil {
+	if tr := obs.Tee(c.Tracer(), pt); tr != nil {
 		if t, ok := net.(Traceable); ok {
 			t.SetTracer(tr)
 		}
+	}
+	if c == nil {
+		return nil
 	}
 	return c.Sampler
 }
@@ -228,6 +234,12 @@ type RateConfig struct {
 	// recorder and watchdogs flush every Telemetry.FlushEvery cycles.
 	// Nil costs one branch per cycle.
 	Telemetry *telemetry.Run
+	// Prov, when non-nil, attaches the per-packet latency provenance
+	// tracker: its event tap is teed next to the Obs tracer, and the
+	// harness reports every measured message's injection, completion
+	// and loss so the tracker can decompose end-to-end latency. Nil
+	// costs one branch per message event.
+	Prov *provenance.Tracker
 }
 
 // RunRate drives net with Bernoulli pattern traffic and measures average
@@ -254,7 +266,8 @@ func RunRate(net Network, cfg RateConfig) Result {
 	var nextID uint64
 	var cycle int64
 	var offered, accepted int64
-	sampler := attachObs(net, cfg.Obs)
+	prov := cfg.Prov
+	sampler := attachObs(net, cfg.Obs, prov)
 	tel := cfg.Telemetry
 	telASR, telIC := attachTelemetry(net, tel)
 	nrun := net.Run()
@@ -278,6 +291,9 @@ func RunRate(net Network, cfg RateConfig) Result {
 			if tel != nil {
 				tel.Lost.Inc()
 			}
+			if prov != nil {
+				prov.Lost(l.MsgID)
+			}
 		}
 	})
 	var cycleInjected int
@@ -296,6 +312,11 @@ func RunRate(net Network, cfg RateConfig) Result {
 			accepted++
 			cycleInjected++
 			nextID++
+			if record && prov != nil {
+				// Before net.Inject, so the network's inject event
+				// (and everything after) lands in the packet's log.
+				prov.Inject(nextID, in.Src, cycle)
+			}
 			dsts[0] = in.Dst
 			net.Inject(Message{ID: nextID, Src: in.Src, Dsts: dsts, Op: packet.OpSynthetic})
 			if record {
@@ -326,6 +347,9 @@ func RunRate(net Network, cfg RateConfig) Result {
 					if tel != nil {
 						tel.Lost.Inc()
 					}
+					if prov != nil {
+						prov.Lost(d.MsgID)
+					}
 					continue
 				}
 				lat := float64(cycle - st.inject + 1)
@@ -334,6 +358,9 @@ func RunRate(net Network, cfg RateConfig) Result {
 				latencySum += lat
 				if tel != nil {
 					tel.Latency.Observe(lat)
+				}
+				if prov != nil {
+					prov.Complete(d.MsgID, cycle)
 				}
 			}
 		}
@@ -419,6 +446,10 @@ type ReplayConfig struct {
 	// (the replay's own dependency accounting subsumes it) but keep the
 	// network invariant checks and the flight record.
 	Telemetry *telemetry.Run
+	// Prov, when non-nil, attaches per-packet latency provenance as in
+	// RateConfig.Prov. Replay latency is measured from readiness, so a
+	// NIC-stall before injection shows up as nic-queue time.
+	Prov *provenance.Tracker
 }
 
 // RunTrace replays tr on net: each message injects once its EarliestCycle
@@ -467,7 +498,8 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 	res := Result{LatencyByOp: make(map[packet.Op]*stats.Latency)}
 	var cycle int64
 	remainingDeliveries := 0
-	sampler := attachObs(net, cfg.Obs)
+	prov := cfg.Prov
+	sampler := attachObs(net, cfg.Obs, prov)
 	tel := cfg.Telemetry
 	telASR, telIC := attachTelemetry(net, tel)
 	nrun := net.Run()
@@ -503,6 +535,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			if tel != nil {
 				tel.Lost.Inc()
 			}
+			if prov != nil {
+				prov.Lost(l.MsgID)
+			}
 			wake(l.MsgID)
 		}
 	})
@@ -537,6 +572,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			} else {
 				dsts = append(dsts, m.Dst)
 			}
+			if prov != nil {
+				prov.Inject(id, m.Src, r)
+			}
 			net.Inject(Message{ID: id, Src: m.Src, Dsts: dsts, Op: m.Op})
 			// Latency is measured from readiness (dependency
 			// resolved, think time elapsed), so time spent
@@ -567,6 +605,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 				if tel != nil {
 					tel.Lost.Inc()
 				}
+				if prov != nil {
+					prov.Lost(d.MsgID)
+				}
 				wake(d.MsgID)
 				continue
 			}
@@ -576,6 +617,9 @@ func RunTrace(net Network, tr *trace.Trace, cfg ReplayConfig) (Result, error) {
 			latencySum += lat
 			if tel != nil {
 				tel.Latency.Observe(lat)
+			}
+			if prov != nil {
+				prov.Complete(d.MsgID, cycle)
 			}
 			res.Run.Delivered++
 			res.Makespan = cycle + 1

@@ -46,6 +46,19 @@ func RegisterFlags(fs *flag.FlagSet) *CLI {
 // Enabled reports whether any telemetry output was requested.
 func (c *CLI) Enabled() bool { return c.Addr != "" || c.Flight != "" }
 
+// Clamp normalises out-of-range flag values: a zero or negative
+// -phase-sample would divide by zero in the phase timers (and a negative
+// -flight-every would never flush), so both fall back to their defaults.
+// StartRun calls it, so commands using the bundle get it for free.
+func (c *CLI) Clamp() {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = DefaultFlushEvery
+	}
+}
+
 // StartRun builds the full telemetry bundle from the parsed flags and
 // starts the HTTP endpoint when requested. It returns nil when no
 // telemetry output was requested — the zero-cost default; callers pass
@@ -54,6 +67,7 @@ func (c *CLI) StartRun() (*Run, error) {
 	if !c.Enabled() {
 		return nil, nil
 	}
+	c.Clamp()
 	opt := Options{
 		SampleEvery: c.SampleEvery,
 		FlushEvery:  c.FlushEvery,

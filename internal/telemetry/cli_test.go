@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestCLIClampNormalisesOutOfRangeFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-phase-sample=0", "-flight-every=-100"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Clamp()
+	if c.SampleEvery != DefaultSampleEvery {
+		t.Errorf("SampleEvery = %d, want default %d", c.SampleEvery, DefaultSampleEvery)
+	}
+	if c.FlushEvery != DefaultFlushEvery {
+		t.Errorf("FlushEvery = %d, want default %d", c.FlushEvery, DefaultFlushEvery)
+	}
+}
+
+func TestCLIClampKeepsValidFlags(t *testing.T) {
+	c := &CLI{SampleEvery: 4, FlushEvery: 250}
+	c.Clamp()
+	if c.SampleEvery != 4 || c.FlushEvery != 250 {
+		t.Errorf("Clamp rewrote valid values: %+v", c)
+	}
+}
+
+func TestStartRunClamps(t *testing.T) {
+	// StartRun with a flight path set (Enabled) must clamp before
+	// building the bundle; the returned run samples at the default rate.
+	c := &CLI{Flight: t.TempDir() + "/flight.jsonl", SampleEvery: -1, FlushEvery: 0}
+	run, err := c.StartRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if c.SampleEvery != DefaultSampleEvery || c.FlushEvery != DefaultFlushEvery {
+		t.Errorf("StartRun did not clamp: %+v", c)
+	}
+}
