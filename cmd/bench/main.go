@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 	"runtime"
 	"time"
 
@@ -343,7 +344,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "tolerated fractional ns/cycle and allocs/cycle growth in -check mode")
 	baseline := flag.String("baseline", "", "baseline report for -check (default: the report path the run would write)")
 	history := flag.String("history", "", "append this run's measurements to a JSONL history log")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -1,8 +1,10 @@
-// Command compare runs the four-architecture shoot-out that quantifies the
-// paper's Section 1/6 arguments: Phastlane versus the electrical baseline,
-// a Corona-style MWSR token-bus optical crossbar, and a Columbia-style
-// circuit-switched photonic mesh, on identical uniform traffic and an
-// identical coherence trace.
+// Command compare runs the N-way architecture shoot-out that quantifies
+// the paper's Section 1/6 arguments: Phastlane versus the electrical
+// baseline, a Corona-style MWSR token-bus optical crossbar, a
+// Columbia-style circuit-switched photonic mesh, and the indirect
+// fabrics behind the topology layer (64-endpoint Benes, radix-4
+// Shufflecast), on identical uniform traffic and an identical coherence
+// trace.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
@@ -24,11 +27,11 @@ func main() {
 	benchmark := flag.String("benchmark", "LU", "coherence workload for the trace round")
 	messages := flag.Int("messages", 8000, "trace length")
 	measure := flag.Int("measure", 3000, "measurement cycles per synthetic point")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	traceOut := flag.String("trace-out", "", "re-run the uniform point and write a Perfetto trace to this file")
 	metricsOut := flag.String("metrics-out", "", "write the per-node event matrices as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fail(err)
@@ -61,6 +64,7 @@ func main() {
 		}
 		inspects = append(inspects, figures.InspectOpts{
 			Name: cfg.Name, Build: cfg.Build, Width: 8, Height: 8,
+			Topo:    cfg.Topo,
 			Pattern: p, Rate: 0.10, Measure: *measure, Seed: *seed,
 		})
 	}
@@ -69,7 +73,4 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "compare:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("compare", err) }

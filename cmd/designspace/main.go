@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 
 	"phastlane/internal/exp"
 	"phastlane/internal/figures"
@@ -29,7 +30,7 @@ func main() {
 	tables := flag.Bool("tables", false, "print only Tables 1-4")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "designspace:", err)

@@ -2,20 +2,24 @@
 // Table 2 virtual-channel router mesh) and reports latency, throughput and
 // power, mirroring cmd/phastlane for head-to-head comparisons.
 //
+// With -topo benes or -topo shufflecast the run uses the generic fabric
+// simulator over that topology with the same per-hop router delay
+// (synthetic traffic only).
+//
 // Usage:
 //
 //	electrical -traffic Uniform -rate 0.1
 //	electrical -delay 2 -trace ocean.trace
+//	electrical -topo shufflecast -width 8 -height 1 -arity 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"phastlane/internal/cliflags"
 	"phastlane/internal/electrical"
-	"phastlane/internal/fault"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
 	"phastlane/internal/telemetry"
@@ -28,31 +32,47 @@ func main() {
 	rate := flag.Float64("rate", 0.05, "injection rate (packets/node/cycle)")
 	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
 	delay := flag.Int("delay", 3, "per-hop router delay in cycles (2 or 3)")
-	width := flag.Int("width", 8, "mesh width (8x8 through 64x64 supported)")
-	height := flag.Int("height", 8, "mesh height")
+	geo := cliflags.RegisterGeometry(flag.CommandLine)
 	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
 	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
 	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := electrical.DefaultConfig()
-	cfg.Width, cfg.Height = *width, *height
-	cfg.RouterDelay = *delay
-	cfg.Seed = *seed
-	cfg.LossTimeout = *lossTimeout
-	if *faultSpec != "" {
-		plan, err := parseFaultArg(*faultSpec)
+	var net sim.Network
+	if geo.IsMesh() {
+		cfg := electrical.DefaultConfig()
+		cfg.Width, cfg.Height = geo.Width, geo.Height
+		cfg.RouterDelay = *delay
+		cfg.Seed = *seed
+		cfg.LossTimeout = *lossTimeout
+		if *faultSpec != "" {
+			plan, err := cliflags.ParseFaultArg(*faultSpec)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Faults = plan
+		}
+		if err := cfg.Validate(); err != nil {
+			fail(err)
+		}
+		net = electrical.New(cfg)
+	} else {
+		if *tracePath != "" {
+			fail(geo.RequireMesh("-trace replay"))
+		}
+		if *faultSpec != "" {
+			fail(geo.RequireMesh("-faults"))
+		}
+		fnet, err := geo.FabricNetwork(*delay, *seed)
 		if err != nil {
 			fail(err)
 		}
-		cfg.Faults = plan
+		net = fnet
+		fmt.Printf("fabric %s: %d endpoints, %d nodes\n",
+			geo.Topo, fnet.Topology().Endpoints(), fnet.Topology().Nodes())
 	}
-	if err := cfg.Validate(); err != nil {
-		fail(err)
-	}
-	net := electrical.New(cfg)
 	tel, err := telFlags.StartRun()
 	if err != nil {
 		fail(err)
@@ -117,25 +137,4 @@ func patternByName(name string, nodes int) (traffic.Pattern, error) {
 	}
 }
 
-// parseFaultArg turns the -faults argument into a plan: @path loads a
-// file, a leading '{' parses as JSON, anything else as the compact spec
-// string.
-func parseFaultArg(arg string) (*fault.Plan, error) {
-	text := arg
-	if strings.HasPrefix(arg, "@") {
-		data, err := os.ReadFile(arg[1:])
-		if err != nil {
-			return nil, err
-		}
-		text = string(data)
-	}
-	if strings.HasPrefix(strings.TrimSpace(text), "{") {
-		return fault.ParseJSON([]byte(text))
-	}
-	return fault.ParseSpec(strings.TrimSpace(text))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "electrical:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("electrical", err) }

@@ -23,11 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"phastlane/internal/cliflags"
 
 	"phastlane/internal/core"
 	"phastlane/internal/electrical"
-	"phastlane/internal/fault"
 	"phastlane/internal/figures"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
@@ -53,12 +52,12 @@ func main() {
 	warmup := flag.Int("warmup", 300, "warmup cycles per point")
 	measure := flag.Int("measure", 1500, "measurement cycles per point")
 	trials := flag.Int("trials", 2, "fault placements averaged per sweep point")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per core)")
 	csv := flag.Bool("csv", false, "emit the sweep as CSV")
 	jsonPath := flag.String("json", "", "also write the sweep report to this JSON file")
 	plots := flag.Bool("plots", false, "render ASCII degradation plots")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fail(err)
@@ -102,7 +101,7 @@ func main() {
 // runScenario drives one fault plan through both simulators at the given
 // load and reports delivery outcomes side by side.
 func runScenario(arg string, rate float64, warmup, measure int, seed int64) {
-	plan, err := parseFaultArg(arg)
+	plan, err := cliflags.ParseFaultArg(arg)
 	if err != nil {
 		fail(err)
 	}
@@ -150,25 +149,4 @@ func runScenario(arg string, rate float64, warmup, measure int, seed int64) {
 	fmt.Println(t)
 }
 
-// parseFaultArg turns the -faults argument into a plan: @path loads a
-// file, a leading '{' parses as JSON, anything else as the compact spec
-// string.
-func parseFaultArg(arg string) (*fault.Plan, error) {
-	text := arg
-	if strings.HasPrefix(arg, "@") {
-		data, err := os.ReadFile(arg[1:])
-		if err != nil {
-			return nil, err
-		}
-		text = string(data)
-	}
-	if strings.HasPrefix(strings.TrimSpace(text), "{") {
-		return fault.ParseJSON([]byte(text))
-	}
-	return fault.ParseSpec(strings.TrimSpace(text))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "faults:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("faults", err) }

@@ -12,6 +12,7 @@
 //	inspect -trace-out trace.json            # Perfetto trace of both
 //	inspect -metrics-out m.csv -series-out s.csv
 //	inspect -width 4 -height 4 -measure 500  # small mesh, short run
+//	inspect -topo benes -width 8 -height 1   # deep-dive an indirect fabric
 //	inspect -telemetry-addr :9090            # live metrics + pprof endpoint
 //	inspect -why -rate 0.3                   # per-packet tail-blame report
 package main
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"phastlane/internal/cliflags"
 	"phastlane/internal/core"
 	"phastlane/internal/electrical"
 	"phastlane/internal/exp"
@@ -31,15 +33,14 @@ import (
 )
 
 func main() {
-	netFlag := flag.String("net", "both", "network to inspect: both, optical, electrical")
-	width := flag.Int("width", 8, "mesh width")
-	height := flag.Int("height", 8, "mesh height")
+	netFlag := flag.String("net", "both", "network to inspect: both, optical, electrical (mesh only)")
+	geo := cliflags.RegisterGeometry(flag.CommandLine)
 	pattern := flag.String("pattern", "Uniform", "traffic pattern (Uniform, BitComp, BitRev, Shuffle, Transpose)")
 	rate := flag.Float64("rate", 0.10, "injection rate (packets/node/cycle)")
 	warmup := flag.Int("warmup", 500, "warmup cycles")
 	measure := flag.Int("measure", 2000, "measurement cycles")
 	window := flag.Int64("window", 0, "sampler bin width in cycles (0 = default)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	hops := flag.Int("hops", 4, "optical MaxHops (4, 5 or 8)")
 	buffers := flag.Int("buffers", 10, "optical buffer entries (-1 = infinite)")
 	delay := flag.Int("delay", 3, "electrical router delay in cycles (2 or 3)")
@@ -47,13 +48,13 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-node event matrices as CSV to this file")
 	seriesOut := flag.String("series-out", "", "write cycle-windowed time series as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	why := provenance.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	why.Clamp()
 
-	w, h := *width, *height
+	w, h := geo.Width, geo.Height
 	var opts []figures.InspectOpts
 	add := func(name string, build func(seed int64) sim.Network) {
 		p, err := figures.PatternByName(*pattern, w*h, *seed)
@@ -67,30 +68,47 @@ func main() {
 			Window: *window, Seed: *seed,
 		})
 	}
-	if *netFlag == "both" || *netFlag == "optical" {
-		add("optical", func(seed int64) sim.Network {
-			cfg := core.DefaultConfig()
-			cfg.Width, cfg.Height = w, h
-			cfg.MaxHops = *hops
-			cfg.BufferEntries = *buffers
-			cfg.Seed = seed
-			if err := cfg.Validate(); err != nil {
+	if !geo.IsMesh() {
+		// Indirect fabrics deep-dive through the generic fabric simulator;
+		// -net selects among the mesh models only.
+		tp, err := geo.Build()
+		if err != nil {
+			fail(err)
+		}
+		add(geo.Topo, func(seed int64) sim.Network {
+			net, err := geo.FabricNetwork(0, seed)
+			if err != nil {
 				fail(err)
 			}
-			return core.New(cfg)
+			return net
 		})
-	}
-	if *netFlag == "both" || *netFlag == "electrical" {
-		add("electrical", func(seed int64) sim.Network {
-			cfg := electrical.DefaultConfig()
-			cfg.Width, cfg.Height = w, h
-			cfg.RouterDelay = *delay
-			cfg.Seed = seed
-			if err := cfg.Validate(); err != nil {
-				fail(err)
-			}
-			return electrical.New(cfg)
-		})
+		opts[0].Topo = tp
+	} else {
+		if *netFlag == "both" || *netFlag == "optical" {
+			add("optical", func(seed int64) sim.Network {
+				cfg := core.DefaultConfig()
+				cfg.Width, cfg.Height = w, h
+				cfg.MaxHops = *hops
+				cfg.BufferEntries = *buffers
+				cfg.Seed = seed
+				if err := cfg.Validate(); err != nil {
+					fail(err)
+				}
+				return core.New(cfg)
+			})
+		}
+		if *netFlag == "both" || *netFlag == "electrical" {
+			add("electrical", func(seed int64) sim.Network {
+				cfg := electrical.DefaultConfig()
+				cfg.Width, cfg.Height = w, h
+				cfg.RouterDelay = *delay
+				cfg.Seed = seed
+				if err := cfg.Validate(); err != nil {
+					fail(err)
+				}
+				return electrical.New(cfg)
+			})
+		}
 	}
 	if len(opts) == 0 {
 		fail(fmt.Errorf("unknown -net %q (want both, optical or electrical)", *netFlag))
@@ -107,9 +125,13 @@ func main() {
 		// telemetry endpoint while the replay runs.
 		for i := range opts {
 			o := &opts[i]
-			o.Prov = provenance.New(provenance.Config{
+			pc := provenance.Config{
 				K: why.Sample, Seed: o.Seed, Width: o.Width, Height: o.Height,
-			})
+			}
+			if o.Topo != nil {
+				pc.Label = o.Topo.NodeLabel
+			}
+			o.Prov = provenance.New(pc)
 			if *telemetryAddr != "" {
 				o.Prov.Register(reg, o.Name)
 			}
@@ -125,7 +147,4 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "inspect:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("inspect", err) }

@@ -1,23 +1,25 @@
 // Command phastlane runs one Phastlane optical-network simulation and
 // reports latency, throughput, drops and power. Traffic is either a
 // synthetic pattern at a fixed injection rate or a trace file produced by
-// tracegen.
+// tracegen. With -topo benes or -topo shufflecast the run uses the
+// generic fabric simulator over that topology instead of the mesh
+// optical model (synthetic traffic only).
 //
 // Usage:
 //
 //	phastlane -traffic Uniform -rate 0.1
 //	phastlane -traffic Transpose -rate 0.2 -hops 5 -buffers 32
 //	phastlane -trace ocean.trace
+//	phastlane -topo benes -width 8 -height 1 -rate 0.1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"phastlane/internal/cliflags"
 	"phastlane/internal/core"
-	"phastlane/internal/fault"
 	"phastlane/internal/packet"
 	"phastlane/internal/photonic"
 	"phastlane/internal/sim"
@@ -31,35 +33,51 @@ func main() {
 	rate := flag.Float64("rate", 0.05, "injection rate (packets/node/cycle)")
 	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
 	hops := flag.Int("hops", 4, "max hops per cycle (4, 5, or 8)")
-	width := flag.Int("width", 8, "mesh width (8x8 through 64x64 supported)")
-	height := flag.Int("height", 8, "mesh height")
+	geo := cliflags.RegisterGeometry(flag.CommandLine)
 	buffers := flag.Int("buffers", 10, "electrical buffer entries per port (-1 = infinite)")
 	measure := flag.Int("measure", 4000, "measurement cycles (synthetic traffic)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
 	retryLimit := flag.Int("retry-limit", 0, "drop-retry budget per packet (0 = unlimited)")
 	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
 	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	cfg.Width, cfg.Height = *width, *height
-	cfg.MaxHops = *hops
-	cfg.BufferEntries = *buffers
-	cfg.Seed = *seed
-	cfg.RetryLimit = *retryLimit
-	cfg.LossTimeout = *lossTimeout
-	if *faultSpec != "" {
-		plan, err := parseFaultArg(*faultSpec)
+	var net sim.Network
+	if geo.IsMesh() {
+		cfg := core.DefaultConfig()
+		cfg.Width, cfg.Height = geo.Width, geo.Height
+		cfg.MaxHops = *hops
+		cfg.BufferEntries = *buffers
+		cfg.Seed = *seed
+		cfg.RetryLimit = *retryLimit
+		cfg.LossTimeout = *lossTimeout
+		if *faultSpec != "" {
+			plan, err := cliflags.ParseFaultArg(*faultSpec)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Faults = plan
+		}
+		if err := cfg.Validate(); err != nil {
+			fail(err)
+		}
+		net = core.New(cfg)
+	} else {
+		if *tracePath != "" {
+			fail(geo.RequireMesh("-trace replay"))
+		}
+		if *faultSpec != "" {
+			fail(geo.RequireMesh("-faults"))
+		}
+		fnet, err := geo.FabricNetwork(0, *seed)
 		if err != nil {
 			fail(err)
 		}
-		cfg.Faults = plan
+		net = fnet
+		fmt.Printf("fabric %s: %d endpoints, %d nodes\n",
+			geo.Topo, fnet.Topology().Endpoints(), fnet.Topology().Nodes())
 	}
-	if err := cfg.Validate(); err != nil {
-		fail(err)
-	}
-	net := core.New(cfg)
 	tel, err := telFlags.StartRun()
 	if err != nil {
 		fail(err)
@@ -147,25 +165,4 @@ func powerShare(res sim.Result, pj float64) float64 {
 	return res.Run.PowerW(photonic.DefaultClockGHz) * pj / total
 }
 
-// parseFaultArg turns the -faults argument into a plan: @path loads a
-// file, a leading '{' parses as JSON, anything else as the compact spec
-// string.
-func parseFaultArg(arg string) (*fault.Plan, error) {
-	text := arg
-	if strings.HasPrefix(arg, "@") {
-		data, err := os.ReadFile(arg[1:])
-		if err != nil {
-			return nil, err
-		}
-		text = string(data)
-	}
-	if strings.HasPrefix(strings.TrimSpace(text), "{") {
-		return fault.ParseJSON([]byte(text))
-	}
-	return fault.ParseSpec(strings.TrimSpace(text))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "phastlane:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("phastlane", err) }

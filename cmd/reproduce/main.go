@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"phastlane/internal/cliflags"
 	"time"
 
 	"phastlane/internal/exp"
@@ -29,13 +30,13 @@ import (
 func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "reduced-scale run")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	quiet := flag.Bool("quiet", false, "suppress progress log lines")
 	traceOut := flag.Bool("trace-out", false, "write a Perfetto trace of the inspection stage to <out>/inspect_trace.json")
 	metricsOut := flag.Bool("metrics-out", false, "write per-node event matrices to <out>/inspect_metrics.csv")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for the inspection stage")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fail(err)
@@ -155,7 +156,4 @@ func main() {
 	fmt.Printf("reproduce: done in %.1fs\n", time.Since(start).Seconds())
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "reproduce:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("reproduce", err) }

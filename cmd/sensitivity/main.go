@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 
 	"phastlane/internal/figures"
 	"phastlane/internal/telemetry"
@@ -23,9 +24,9 @@ import (
 func main() {
 	benchmark := flag.String("benchmark", "Barnes", "coherence workload")
 	messages := flag.Int("messages", 6000, "trace length")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	csv := flag.Bool("csv", false, "emit CSV")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sensitivity:", err)

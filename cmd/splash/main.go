@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 	"strings"
 
 	"phastlane/internal/figures"
@@ -24,10 +25,10 @@ import (
 func main() {
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names (default: all ten)")
 	messages := flag.Int("messages", 0, "override trace length per benchmark (0 = full)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	summary := flag.Bool("summary", false, "print only the headline numbers")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "splash:", err)

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +38,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	measure := flag.Int("measure", 4000, "measurement cycles per point")
 	warmup := flag.Int("warmup", 1000, "warmup cycles per point")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	quiet := flag.Bool("quiet", false, "suppress progress log lines")
 	ratesFlag := flag.String("rates", "", "comma-separated injection rates (default grid if empty)")
@@ -45,7 +46,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "re-run each curve's knee point and write a Perfetto trace to this file")
 	metricsOut := flag.String("metrics-out", "", "write the knee points' per-node event matrices as CSV to this file")
 	heatmap := flag.Bool("heatmap", false, "print link-utilization and drop heatmaps for each curve's knee point")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	why := provenance.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	why.Clamp()

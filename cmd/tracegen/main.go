@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"phastlane/internal/cliflags"
 
 	"phastlane/internal/coherence"
 	"phastlane/internal/telemetry"
@@ -24,9 +25,9 @@ func main() {
 	out := flag.String("out", "", "output trace file (required)")
 	messages := flag.Int("messages", 0, "override trace length (0 = benchmark default)")
 	protocol := flag.String("protocol", "snoopy", "coherence protocol: snoopy (paper) or directory")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	list := flag.Bool("list", false, "list available benchmarks and exit")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	flag.Parse()
 	if _, err := telemetry.Start(*telemetryAddr, nil); err != nil {
 		fail(err)
@@ -79,7 +80,4 @@ func main() {
 		p.Name, len(tr.Messages), broadcasts, len(tr.Messages)-broadcasts, *out)
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("tracegen", err) }

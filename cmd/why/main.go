@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"phastlane/internal/cliflags"
 	"phastlane/internal/core"
 	"phastlane/internal/electrical"
 	"phastlane/internal/exp"
@@ -37,14 +38,13 @@ import (
 )
 
 func main() {
-	netFlag := flag.String("net", "both", "network to explain: both, optical, electrical")
-	width := flag.Int("width", 8, "mesh width")
-	height := flag.Int("height", 8, "mesh height")
+	netFlag := flag.String("net", "both", "network to explain: both, optical, electrical (mesh only)")
+	geo := cliflags.RegisterGeometry(flag.CommandLine)
 	pattern := flag.String("pattern", "Uniform", "traffic pattern (Uniform, BitComp, BitRev, Shuffle, Transpose)")
 	rate := flag.Float64("rate", 0.10, "injection rate (packets/node/cycle)")
 	warmup := flag.Int("warmup", 500, "warmup cycles")
 	measure := flag.Int("measure", 2000, "measurement cycles")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	hops := flag.Int("hops", 4, "optical MaxHops (4, 5 or 8)")
 	buffers := flag.Int("buffers", 10, "optical buffer entries (-1 = infinite)")
 	delay := flag.Int("delay", 3, "electrical router delay in cycles (2 or 3)")
@@ -52,13 +52,13 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the sampled span trees as Perfetto trace-event JSON to this file")
 	minAttrib := flag.Float64("min-attrib", 0.95,
 		"fail unless every sampled packet's named stages explain at least this latency fraction")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (Prometheus /metrics, /telemetry.json, /debug/pprof/) on this address; empty = off")
+	telemetryAddr := cliflags.TelemetryAddr(flag.CommandLine)
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per core)")
 	why := provenance.RegisterAlwaysOn(flag.CommandLine)
 	flag.Parse()
 	why.Clamp()
 
-	w, h := *width, *height
+	w, h := geo.Width, geo.Height
 	var opts []figures.InspectOpts
 	add := func(name string, build func(seed int64) sim.Network) {
 		p, err := figures.PatternByName(*pattern, w*h, *seed)
@@ -71,30 +71,47 @@ func main() {
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
 		})
 	}
-	if *netFlag == "both" || *netFlag == "optical" {
-		add("optical", func(seed int64) sim.Network {
-			cfg := core.DefaultConfig()
-			cfg.Width, cfg.Height = w, h
-			cfg.MaxHops = *hops
-			cfg.BufferEntries = *buffers
-			cfg.Seed = seed
-			if err := cfg.Validate(); err != nil {
+	if !geo.IsMesh() {
+		// Indirect fabrics are explained through the generic fabric
+		// simulator; -net selects among the mesh models only.
+		tp, err := geo.Build()
+		if err != nil {
+			fail(err)
+		}
+		add(geo.Topo, func(seed int64) sim.Network {
+			net, err := geo.FabricNetwork(0, seed)
+			if err != nil {
 				fail(err)
 			}
-			return core.New(cfg)
+			return net
 		})
-	}
-	if *netFlag == "both" || *netFlag == "electrical" {
-		add("electrical", func(seed int64) sim.Network {
-			cfg := electrical.DefaultConfig()
-			cfg.Width, cfg.Height = w, h
-			cfg.RouterDelay = *delay
-			cfg.Seed = seed
-			if err := cfg.Validate(); err != nil {
-				fail(err)
-			}
-			return electrical.New(cfg)
-		})
+		opts[0].Topo = tp
+	} else {
+		if *netFlag == "both" || *netFlag == "optical" {
+			add("optical", func(seed int64) sim.Network {
+				cfg := core.DefaultConfig()
+				cfg.Width, cfg.Height = w, h
+				cfg.MaxHops = *hops
+				cfg.BufferEntries = *buffers
+				cfg.Seed = seed
+				if err := cfg.Validate(); err != nil {
+					fail(err)
+				}
+				return core.New(cfg)
+			})
+		}
+		if *netFlag == "both" || *netFlag == "electrical" {
+			add("electrical", func(seed int64) sim.Network {
+				cfg := electrical.DefaultConfig()
+				cfg.Width, cfg.Height = w, h
+				cfg.RouterDelay = *delay
+				cfg.Seed = seed
+				if err := cfg.Validate(); err != nil {
+					fail(err)
+				}
+				return electrical.New(cfg)
+			})
+		}
 	}
 	if len(opts) == 0 {
 		fail(fmt.Errorf("unknown -net %q (want both, optical or electrical)", *netFlag))
@@ -106,9 +123,13 @@ func main() {
 	}
 	for i := range opts {
 		o := &opts[i]
-		o.Prov = provenance.New(provenance.Config{
+		pc := provenance.Config{
 			K: why.Sample, Seed: o.Seed, Width: o.Width, Height: o.Height,
-		})
+		}
+		if o.Topo != nil {
+			pc.Label = o.Topo.NodeLabel
+		}
+		o.Prov = provenance.New(pc)
 		if *telemetryAddr != "" {
 			o.Prov.Register(reg, o.Name)
 		}
@@ -152,7 +173,4 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "why:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliflags.Fail("why", err) }

@@ -22,6 +22,7 @@ import (
 	"phastlane/internal/power"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/topo"
 )
 
 // Config parameterises the circuit-switched mesh.
@@ -96,7 +97,10 @@ type flow struct {
 
 // Network is the circuit-switched simulator implementing sim.Network.
 type Network struct {
-	cfg   Config
+	cfg Config
+	// top compiles routes; m is the mesh geometry the link-reservation
+	// walk steps across.
+	top   topo.Topology
 	m     *mesh.Mesh
 	run   stats.Run
 	cycle int64
@@ -115,9 +119,11 @@ func New(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := mesh.New(cfg.Width, cfg.Height)
+	top := topo.NewMesh2D(cfg.Width, cfg.Height)
+	m := top.Mesh()
 	return &Network{
 		cfg:       cfg,
+		top:       top,
 		m:         m,
 		linkOwner: make([]*flow, m.Nodes()*mesh.NumLinkDirs),
 		queues:    make([][]*flow, m.Nodes()),
@@ -213,8 +219,17 @@ func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
 // beginSetup aims the flow at its next destination.
 func (n *Network) beginSetup(f *flow) {
 	dst := f.dsts[0]
-	f.route = n.m.RouteNodes(f.src, dst)
-	f.dirs = n.m.Route(f.src, dst)
+	f.dirs = n.top.AppendRoute(f.dirs[:0], f.src, dst)
+	f.route = append(f.route[:0], f.src)
+	cur := f.src
+	for _, d := range f.dirs {
+		next, ok := n.top.Neighbor(cur, d)
+		if !ok {
+			panic("circuit: route walks off fabric")
+		}
+		cur = next
+		f.route = append(f.route, cur)
+	}
 	f.reserved = 0
 	f.state = setupWalking
 	f.nextAt = n.cycle

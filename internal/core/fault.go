@@ -37,7 +37,8 @@ func (n *Network) faultInit() {
 	}
 	n.faults = inj
 	if inj != nil {
-		n.frouter = mesh.NewFaultRouter(n.m)
+		// Fault detours come from the topology's FaultRouting view
+		// (the mesh BFS router behind topo.Mesh2D).
 		// One closure for the life of the network: reads the advancing
 		// cycle through the receiver, so route queries always see the
 		// current fault state without a per-query allocation.
@@ -97,7 +98,7 @@ func (n *Network) faultPrepare(p *parcel) bool {
 		p.control, p.launch = ctl, launch
 		return true
 	}
-	dirs, ok := n.frouter.AppendRoute(n.frDirs[:0], p.owner, p.dst, n.routeUsable)
+	dirs, ok := n.det.AppendDetour(n.frDirs[:0], p.owner, p.dst, n.routeUsable)
 	n.frDirs = dirs
 	if !ok {
 		n.holdUnreachable(p)

@@ -12,6 +12,7 @@ import (
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
 	"phastlane/internal/telemetry"
+	"phastlane/internal/topo"
 )
 
 // parcel is one physical Phastlane packet: a unicast message or one
@@ -123,7 +124,16 @@ type router struct {
 // Network is the Phastlane simulator. Create with New; drive with Inject
 // and Step (the sim.Network interface).
 type Network struct {
-	cfg    Config
+	cfg Config
+	// top is the routing view of the fabric; all route compilation
+	// (control words, sweep rebuilds, fault detours) goes through it.
+	// m is the concrete geometry the optical walk steps across — the
+	// Phastlane datapath itself is a 2D-mesh design (predecoded compass
+	// control groups, column broadcast sweeps), so the physics stays on
+	// the concrete mesh while routing is interface-shaped.
+	top    topo.Topology
+	enc    topo.ControlEncoder
+	det    topo.FaultRouting
 	m      *mesh.Mesh
 	energy power.Optical
 	rng    *rand.Rand
@@ -148,7 +158,6 @@ type Network struct {
 	// that one nil check. watchEvery > 0 arms the delivery watchdog
 	// (fault plan, or LossTimeout without one).
 	faults      *fault.Injector
-	frouter     *mesh.FaultRouter
 	routeUsable mesh.LinkUsable
 	frDirs      []mesh.Dir
 	lossHandler func(sim.Loss)
@@ -185,9 +194,13 @@ func New(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := mesh.New(cfg.Width, cfg.Height)
+	top := topo.NewMesh2D(cfg.Width, cfg.Height)
+	m := top.Mesh()
 	n := &Network{
 		cfg:     cfg,
+		top:     top,
+		enc:     top,
+		det:     top,
 		m:       m,
 		energy:  cfg.energyModel(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -324,7 +337,7 @@ func (n *Network) Inject(m sim.Message) {
 // enqueueUnicast builds one unicast parcel from the free list and queues
 // it on the source NIC.
 func (n *Network) enqueueUnicast(nic *pqueue, m sim.Message, dst mesh.NodeID) {
-	ctl, launch := packet.BuildControl(n.m, m.Src, dst)
+	ctl, launch := n.enc.EncodeControl(m.Src, dst)
 	ctl.MarkInterims(n.cfg.MaxHops)
 	p := n.getParcel()
 	p.msgID, p.op, p.src, p.dst = m.ID, m.Op, m.Src, dst
@@ -584,7 +597,7 @@ func (n *Network) resegment(p *parcel) {
 		p.control, p.launch = ctl, launch
 		return
 	}
-	ctl, launch := packet.BuildControl(n.m, p.owner, p.dst)
+	ctl, launch := n.enc.EncodeControl(p.owner, p.dst)
 	ctl.MarkInterims(n.cfg.MaxHops)
 	p.control, p.launch = ctl, launch
 }
@@ -602,13 +615,13 @@ func (n *Network) buildSweepFrom(src mesh.NodeID, remaining []mesh.NodeID, maxHo
 	if remaining[0] == src {
 		panic("core: multicast relaunch targeting the owner itself")
 	}
-	dirs := m.AppendRoute(n.sweepDirs[:0], src, remaining[0])
+	dirs := n.top.AppendRoute(n.sweepDirs[:0], src, remaining[0])
 	cur := remaining[0]
 	for _, next := range remaining[1:] {
-		if m.HopDistance(cur, next) != 1 {
+		if n.top.HopDistance(cur, next) != 1 {
 			panic(fmt.Sprintf("core: non-contiguous multicast remainder %d->%d", cur, next))
 		}
-		dirs = append(dirs, m.RouteDir(cur, next, 0))
+		dirs = append(dirs, n.top.PortAt(cur, next, 0))
 		cur = next
 	}
 	n.sweepDirs = dirs

@@ -27,6 +27,7 @@ import (
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
 	"phastlane/internal/telemetry"
+	"phastlane/internal/topo"
 	"phastlane/internal/vctm"
 )
 
@@ -157,9 +158,15 @@ type arrival struct {
 
 // Network is the electrical baseline simulator implementing sim.Network.
 type Network struct {
-	cfg     Config
-	m       *mesh.Mesh
-	energy  power.Electrical
+	cfg Config
+	// top is the routing view of the fabric: next-hop lookups, VCTM
+	// tree routes and fault detours all compile through it, while m
+	// stays the concrete mesh geometry the wormhole datapath (ports,
+	// credits, link walk) is built around.
+	top    topo.Topology
+	det    topo.FaultRouting
+	m      *mesh.Mesh
+	energy power.Electrical
 	rng     *rand.Rand
 	routers []erouter
 	transit []arrival
@@ -195,7 +202,6 @@ type Network struct {
 	// Fault injection and the delivery watchdog (fault.go). faults is
 	// nil unless a plan is armed; watchEvery > 0 arms the watchdog.
 	faults      *fault.Injector
-	frouter     *mesh.FaultRouter
 	routeUsable mesh.LinkUsable
 	frDirs      []mesh.Dir
 	lossHandler func(sim.Loss)
@@ -263,9 +269,12 @@ func newNetwork(cfg Config, dense bool) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := mesh.New(cfg.Width, cfg.Height)
+	top := topo.NewMesh2D(cfg.Width, cfg.Height)
+	m := top.Mesh()
 	n := &Network{
 		cfg:     cfg,
+		top:     top,
+		det:     top,
 		m:       m,
 		energy:  power.NewElectrical(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -399,7 +408,7 @@ func (n *Network) broadcastTree(src mesh.NodeID, dsts []mesh.NodeID) *vctm.Tree 
 	if t := n.bcast[src]; t != nil {
 		return t
 	}
-	t := vctm.Build(n.m, src, dsts)
+	t := vctm.Build(n.top, src, dsts)
 	n.bcast[src] = t
 	return t
 }
@@ -431,7 +440,7 @@ func (n *Network) Inject(m sim.Message) {
 		key := vctm.Key(m.Src, m.Dsts)
 		tree, ok := n.trees[key]
 		if !ok {
-			tree = vctm.Build(n.m, m.Src, m.Dsts)
+			tree = vctm.Build(n.top, m.Src, m.Dsts)
 			n.trees[key] = tree
 		}
 		p.tree = tree

@@ -39,7 +39,6 @@ func (n *Network) faultInit() {
 	}
 	n.faults = inj
 	if inj != nil {
-		n.frouter = mesh.NewFaultRouter(n.m)
 		n.routeUsable = func(from mesh.NodeID, d mesh.Dir) bool {
 			return !n.faults.LinkDown(n.cycle, from, d)
 		}
@@ -71,9 +70,9 @@ var _ sim.LossReporting = (*Network)(nil)
 // false when no usable route exists right now.
 func (n *Network) nextDir(at, dst mesh.NodeID) (mesh.Dir, bool) {
 	if n.faults == nil {
-		return n.m.RouteDir(at, dst, 0), true
+		return n.top.PortAt(at, dst, 0), true
 	}
-	dirs, ok := n.frouter.AppendRoute(n.frDirs[:0], at, dst, n.routeUsable)
+	dirs, ok := n.det.AppendDetour(n.frDirs[:0], at, dst, n.routeUsable)
 	n.frDirs = dirs
 	if !ok || len(dirs) == 0 {
 		return 0, false

@@ -1,0 +1,201 @@
+package fabsim
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/obs"
+	"phastlane/internal/sim"
+	"phastlane/internal/topo"
+	"phastlane/internal/traffic"
+)
+
+func fabrics(t *testing.T) []topo.Topology {
+	t.Helper()
+	b, err := topo.NewBenes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := topo.NewShufflecast(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []topo.Topology{topo.NewMesh2D(4, 4), b, s}
+}
+
+// drain steps until quiescent, with a generous cycle bound.
+func drain(t *testing.T, n *Network, buf []sim.Delivery) []sim.Delivery {
+	t.Helper()
+	for i := 0; i < 10000 && !n.Quiescent(); i++ {
+		buf = n.Step(buf)
+	}
+	if !n.Quiescent() {
+		t.Fatal("network did not drain")
+	}
+	return buf
+}
+
+// TestUnicastDelivery injects one unicast between every endpoint pair
+// (staggered) and checks every message arrives exactly once at the right
+// place.
+func TestUnicastDelivery(t *testing.T) {
+	for _, top := range fabrics(t) {
+		n := New(DefaultConfig(top))
+		want := make(map[uint64]mesh.NodeID)
+		var id uint64
+		var buf []sim.Delivery
+		for src := 0; src < top.Endpoints(); src++ {
+			for dst := 0; dst < top.Endpoints(); dst++ {
+				if src == dst {
+					continue
+				}
+				id++
+				want[id] = mesh.NodeID(dst)
+				for n.NICFree(mesh.NodeID(src)) == 0 {
+					buf = n.Step(buf)
+				}
+				n.Inject(sim.Message{ID: id, Src: mesh.NodeID(src), Dsts: []mesh.NodeID{mesh.NodeID(dst)}})
+			}
+		}
+		buf = drain(t, n, buf)
+		got := make(map[uint64]int)
+		for _, d := range buf {
+			if want[d.MsgID] != d.Dst {
+				t.Fatalf("%s: msg %d delivered to %d, want %d", top.Name(), d.MsgID, d.Dst, want[d.MsgID])
+			}
+			got[d.MsgID]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d of %d messages delivered", top.Name(), len(got), len(want))
+		}
+		for id, c := range got {
+			if c != 1 {
+				t.Fatalf("%s: msg %d delivered %d times", top.Name(), id, c)
+			}
+		}
+	}
+}
+
+// TestBroadcastDelivery checks a full broadcast reaches every other
+// endpoint exactly once.
+func TestBroadcastDelivery(t *testing.T) {
+	for _, top := range fabrics(t) {
+		n := New(DefaultConfig(top))
+		var dsts []mesh.NodeID
+		for d := 1; d < top.Endpoints(); d++ {
+			dsts = append(dsts, mesh.NodeID(d))
+		}
+		n.Inject(sim.Message{ID: 7, Src: 0, Dsts: dsts})
+		buf := drain(t, n, nil)
+		seen := make(map[mesh.NodeID]int)
+		for _, d := range buf {
+			seen[d.Dst]++
+		}
+		if len(seen) != len(dsts) {
+			t.Fatalf("%s: broadcast reached %d endpoints, want %d", top.Name(), len(seen), len(dsts))
+		}
+		for d, c := range seen {
+			if c != 1 {
+				t.Fatalf("%s: endpoint %d received %d copies", top.Name(), d, c)
+			}
+		}
+	}
+}
+
+// TestSubsetMulticast checks pruned-tree multicast, which the mesh
+// simulators do not support but the spanning builder gives for free.
+func TestSubsetMulticast(t *testing.T) {
+	for _, top := range fabrics(t) {
+		n := New(DefaultConfig(top))
+		dsts := []mesh.NodeID{1, mesh.NodeID(top.Endpoints() - 1)}
+		n.Inject(sim.Message{ID: 3, Src: 0, Dsts: dsts})
+		buf := drain(t, n, nil)
+		if len(buf) != 2 {
+			t.Fatalf("%s: %d deliveries, want 2", top.Name(), len(buf))
+		}
+	}
+}
+
+// TestRunRateDeterminism runs the full harness twice and compares the
+// result structs: the model must be bit-identical for a fixed seed.
+func TestRunRateDeterminism(t *testing.T) {
+	for _, top := range fabrics(t) {
+		run := func() sim.Result {
+			n := New(DefaultConfig(top))
+			return sim.RunRate(n, sim.RateConfig{
+				Pattern: traffic.UniformRandom(top.Endpoints(), 11),
+				Rate:    0.10, Warmup: 200, Measure: 1000, Seed: 11,
+			})
+		}
+		a, b := run(), run()
+		if a.Run.Delivered != b.Run.Delivered || a.Run.Injected != b.Run.Injected ||
+			a.Run.Latency.Mean() != b.Run.Latency.Mean() {
+			t.Fatalf("%s: non-deterministic runs: %+v vs %+v", top.Name(), a.Run, b.Run)
+		}
+		if a.Run.Delivered == 0 {
+			t.Fatalf("%s: no deliveries", top.Name())
+		}
+	}
+}
+
+// TestStepZeroAllocSteadyState pins the warmed-up Step loop at zero
+// allocations per cycle, matching the repo-wide hot-path contract.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	for _, top := range fabrics(t) {
+		n := New(DefaultConfig(top))
+		pat := traffic.UniformRandom(top.Endpoints(), 5)
+		buf := make([]sim.Delivery, 0, 4096)
+		var id uint64
+		dstBuf := make([]mesh.NodeID, 1)
+		inject := func() {
+			for node := 0; node < top.Endpoints(); node++ {
+				id++
+				if n.NICFree(mesh.NodeID(node)) == 0 || id%3 != 0 {
+					continue
+				}
+				dst := pat.Dest(mesh.NodeID(node))
+				if dst == mesh.NodeID(node) {
+					continue
+				}
+				dstBuf[0] = dst
+				n.Inject(sim.Message{ID: id, Src: mesh.NodeID(node), Dsts: dstBuf})
+			}
+		}
+		for i := 0; i < 400; i++ { // warm pools and scratch
+			inject()
+			buf = n.Step(buf[:0])
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			inject()
+			buf = n.Step(buf[:0])
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: %.2f allocs/cycle in steady state, want 0", top.Name(), allocs)
+		}
+	}
+}
+
+// TestEventStream checks the endpoint-only event protocol: inject,
+// launch at the source, eject at the destination, and no event at any
+// switch-stage node.
+func TestEventStream(t *testing.T) {
+	b, err := topo.NewBenes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(DefaultConfig(b))
+	var events []obs.Event
+	n.SetTracer(func(e obs.Event) { events = append(events, e) })
+	n.Inject(sim.Message{ID: 9, Src: 2, Dsts: []mesh.NodeID{5}})
+	drain(t, n, nil)
+	kinds := map[obs.Kind]int{}
+	for _, e := range events {
+		if int(e.Node) >= b.Endpoints() {
+			t.Fatalf("event at switch node %d: %v", e.Node, e)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[obs.KindInject] != 1 || kinds[obs.KindLaunch] != 1 || kinds[obs.KindEject] != 1 {
+		t.Fatalf("unexpected event mix: %v", kinds)
+	}
+}

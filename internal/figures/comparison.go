@@ -4,16 +4,20 @@ import (
 	"phastlane/internal/circuit"
 	"phastlane/internal/corona"
 	"phastlane/internal/exp"
+	"phastlane/internal/fabsim"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/topo"
 	"phastlane/internal/traffic"
 )
 
 // The architecture comparison goes beyond the paper's own evaluation: it
 // quantifies the Section 1/6 qualitative arguments by running the two
 // related-work photonic architectures - a Corona-style MWSR token-bus
-// crossbar and a Columbia-style circuit-switched mesh - against Phastlane
-// and the electrical baseline on identical traffic.
+// crossbar and a Columbia-style circuit-switched mesh - against
+// Phastlane, the electrical baseline, and the indirect fabrics behind
+// the topology layer (a 64-endpoint Benes and a radix-4 Shufflecast de
+// Bruijn graph on the generic fabric simulator) on identical traffic.
 
 // CoronaStyle and CircuitStyle are the related-work comparison networks.
 var (
@@ -37,9 +41,36 @@ var (
 	}
 )
 
-// CompareConfigs returns the four architectures of the comparison.
+// fabricCfg builds a comparison entry for an indirect fabric: the named
+// topology running on the generic fabric simulator, with the topology
+// kept for node labeling in deep dives.
+func fabricCfg(name, fabric string, width, height, arity int) NetConfig {
+	t, err := topo.New(fabric, width, height, arity)
+	if err != nil {
+		panic(err) // static geometry below; cannot fail
+	}
+	return NetConfig{
+		Name:    name,
+		Optical: true,
+		Topo:    t,
+		Build: func(seed int64) sim.Network {
+			cfg := fabsim.DefaultConfig(t)
+			cfg.Seed = seed
+			return fabsim.New(cfg)
+		},
+	}
+}
+
+// BenesFabric and ShuffleFabric are the indirect-fabric comparison
+// networks at the evaluation's 64-endpoint scale.
+var (
+	BenesFabric   = fabricCfg("benes", "benes", 64, 1, 0)
+	ShuffleFabric = fabricCfg("shufflecast", "shufflecast", 64, 1, 4)
+)
+
+// CompareConfigs returns the architectures of the N-way comparison.
 func CompareConfigs() []NetConfig {
-	return []NetConfig{Optical4, Electrical3, CoronaStyle, CircuitStyle}
+	return []NetConfig{Optical4, Electrical3, CoronaStyle, CircuitStyle, BenesFabric, ShuffleFabric}
 }
 
 // CompareOpts controls the architecture comparison.

@@ -10,6 +10,7 @@ import (
 	"phastlane/internal/core"
 	"phastlane/internal/electrical"
 	"phastlane/internal/sim"
+	"phastlane/internal/topo"
 )
 
 // NetConfig is one named network configuration of Section 5.
@@ -19,6 +20,12 @@ type NetConfig struct {
 	Optical bool
 	// Build constructs a fresh network for one run.
 	Build func(seed int64) sim.Network
+	// Topo, when non-nil, is the fabric behind Build for the indirect
+	// topologies: deep dives use its NodeLabel for trace swimlanes and
+	// blame rows. Mesh configurations leave it nil. Must be safe for
+	// concurrent readers (the route compilers of the registered fabrics
+	// are stateless).
+	Topo topo.Topology
 }
 
 // opticalCfg builds a Phastlane variant.

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"fmt"
+	"phastlane/internal/topo"
 	"strings"
 
 	"phastlane/internal/exp"
@@ -30,6 +31,10 @@ type InspectOpts struct {
 	Build func(seed int64) sim.Network
 	// Width, Height shape the per-node matrices.
 	Width, Height int
+	// Topo, when non-nil, names nodes in traces and blame reports via
+	// NodeLabel (non-mesh fabrics); Width*Height must still equal its
+	// endpoint count so the matrices line up.
+	Topo topo.Topology
 	// Pattern drives injection. Patterns may be stateful, so give every
 	// InspectOpts (and every repeated run) its own instance.
 	Pattern traffic.Pattern
@@ -79,9 +84,13 @@ func Inspect(o InspectOpts) InspectResult {
 	_, res.Traced = net.(sim.Traceable)
 	res.Prov = o.Prov
 	if res.Prov == nil && o.WhySample > 0 {
-		res.Prov = provenance.New(provenance.Config{
+		pc := provenance.Config{
 			K: o.WhySample, Seed: o.Seed, Width: o.Width, Height: o.Height,
-		})
+		}
+		if o.Topo != nil {
+			pc.Label = o.Topo.NodeLabel
+		}
+		res.Prov = provenance.New(pc)
 	}
 	res.Run = sim.RunRate(net, sim.RateConfig{
 		Pattern: o.Pattern, Rate: o.Rate,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"phastlane/internal/mesh"
 
 	"phastlane/internal/exp"
 	"phastlane/internal/obs"
@@ -43,7 +44,13 @@ func InspectBundle(opts []InspectOpts, engine exp.Options, b BundleOpts, w io.Wr
 		defer f.Close()
 		tf = obs.NewTraceFile(f)
 		for pid := range opts {
-			tf.Process(pid, opts[pid].Name, opts[pid].Width, opts[pid].Height)
+			if tp := opts[pid].Topo; tp != nil {
+				tf.ProcessNodes(pid, opts[pid].Name, tp.Endpoints(), func(n int) string {
+					return tp.NodeLabel(mesh.NodeID(n))
+				})
+			} else {
+				tf.Process(pid, opts[pid].Name, opts[pid].Width, opts[pid].Height)
+			}
 			opts[pid].Trace = tf.Tracer(pid)
 		}
 	}

@@ -192,6 +192,11 @@ func (m *Mesh) HopDistance(a, b NodeID) int {
 // entries; it is empty when src == dst. Dimension-order routing performs at
 // most one turn, which keeps Phastlane's per-router control to a single
 // 5-bit group and guarantees deadlock freedom in the electrical baseline.
+//
+// Ownership: route compilation belongs to the topology layer — simulators
+// and harnesses route through a topo.Topology (AppendRoute/PortAt), and
+// topo.Mesh2D delegates to the primitives here. Direct calls outside
+// internal/topo and geometry-level tests are deprecated.
 func (m *Mesh) Route(src, dst NodeID) []Dir {
 	return m.AppendRoute(nil, src, dst)
 }

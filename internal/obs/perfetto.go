@@ -49,12 +49,21 @@ func (f *TraceFile) write(line string) {
 // Process registers a named process (one simulated network) and labels a
 // thread per node, so the trace UI shows "node 12 (4,1)" swimlanes.
 func (f *TraceFile) Process(pid int, name string, width, height int) {
+	f.ProcessNodes(pid, name, width*height, func(n int) string {
+		return fmt.Sprintf("%d (%d,%d)", n, n%width, n/width)
+	})
+}
+
+// ProcessNodes registers a named process and labels a thread per node
+// using the supplied naming function — typically a topo.Topology's
+// NodeLabel, so non-mesh fabrics get fabric-native swimlane names.
+func (f *TraceFile) ProcessNodes(pid int, name string, nodes int, label func(n int) string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.write(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, name))
-	for n := 0; n < width*height; n++ {
-		f.write(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"node %d (%d,%d)"}}`,
-			pid, n, n, n%width, n/width))
+	for n := 0; n < nodes; n++ {
+		f.write(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"node %s"}}`,
+			pid, n, label(n)))
 	}
 }
 

@@ -371,6 +371,12 @@ func GroupForStep(travel, out mesh.Dir, multicast bool) Group {
 // responsibility, and rebuilds the control for the remainder (the Section
 // 2.1.3 relaunch path). This extends the 8x8 packet format to larger
 // meshes; within an 8x8 mesh no route exceeds 14 groups.
+//
+// Ownership: route compilation belongs to the topology layer. Simulators
+// and harnesses must obtain control words through a topo.Topology's
+// ControlEncoder (topo.Mesh2D delegates here); calling BuildControl
+// directly outside internal/topo and this package's tests is deprecated —
+// it hard-wires the caller to mesh geometry.
 func BuildControl(m *mesh.Mesh, src, dst mesh.NodeID) (Control, mesh.Dir) {
 	total := m.HopDistance(src, dst)
 	if total == 0 {

@@ -37,6 +37,10 @@ type Config struct {
 	// Width, Height shape the (x, y) coordinates in reports. Zero
 	// width leaves coordinates zeroed.
 	Width, Height int
+	// Label names nodes in blame reports (typically a topo.Topology's
+	// NodeLabel); when set it wins over the Width/Height mesh
+	// coordinates, so non-mesh fabrics get meaningful blame rows.
+	Label func(mesh.NodeID) string
 }
 
 // packetLog is the per-tracked-packet record: identity, harness-side

@@ -66,9 +66,12 @@ type StageShare struct {
 
 // BlameRow ranks one router.
 type BlameRow struct {
-	Node    int     `json:"node"`
-	X       int     `json:"x"`
-	Y       int     `json:"y"`
+	Node int `json:"node"`
+	X    int `json:"x"`
+	Y    int `json:"y"`
+	// Label is the topology's node name when the tracker was configured
+	// with one (Config.Label); it replaces the x/y columns in tables.
+	Label   string  `json:"label,omitempty"`
 	Cycles  int64   `json:"cycles"`
 	Share   float64 `json:"share"`
 	Packets int     `json:"packets"`
@@ -178,7 +181,9 @@ func (t *Tracker) Report(name string) *Report {
 			row, ok := blame[sp.Node]
 			if !ok {
 				row = &BlameRow{Node: int(sp.Node)}
-				if t.cfg.Width > 0 {
+				if t.cfg.Label != nil {
+					row.Label = t.cfg.Label(sp.Node)
+				} else if t.cfg.Width > 0 {
 					row.X, row.Y = int(sp.Node)%t.cfg.Width, int(sp.Node)/t.cfg.Width
 				}
 				blame[sp.Node] = row
@@ -265,13 +270,22 @@ func (r *Report) StageTable() *stats.Table {
 // BlameTable renders the top routers by queueing time contributed to the
 // sampled slow packets.
 func (r *Report) BlameTable(top int) *stats.Table {
+	labeled := len(r.Blame) > 0 && r.Blame[0].Label != ""
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Routers by queueing time in sampled slow packets: %s", r.Name),
 		Columns: []string{"node", "x", "y", "queue-cycles", "share", "packets"},
 	}
+	if labeled {
+		t.Columns = []string{"node", "label", "queue-cycles", "share", "packets"}
+	}
 	for i, row := range r.Blame {
 		if top > 0 && i >= top {
 			break
+		}
+		if labeled {
+			t.AddRow(fmt.Sprintf("%d", row.Node), row.Label,
+				fmt.Sprintf("%d", row.Cycles), pct(row.Share), fmt.Sprintf("%d", row.Packets))
+			continue
 		}
 		t.AddRow(fmt.Sprintf("%d", row.Node), fmt.Sprintf("%d", row.X), fmt.Sprintf("%d", row.Y),
 			fmt.Sprintf("%d", row.Cycles), pct(row.Share), fmt.Sprintf("%d", row.Packets))

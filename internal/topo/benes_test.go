@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+)
+
+func TestBenesStructure(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 128} {
+		b, err := NewBenes(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		for 1<<k < n {
+			k++
+		}
+		if got, want := b.Nodes(), n+(2*k-1)*n/2; got != want {
+			t.Fatalf("n=%d: Nodes=%d, want %d", n, got, want)
+		}
+		if b.MaxRouteLen() != 2*k {
+			t.Fatalf("n=%d: MaxRouteLen=%d, want %d", n, b.MaxRouteLen(), 2*k)
+		}
+		// Every switch's two output wires must lead to distinct nodes,
+		// and every stage-s switch must feed stage s+1 (or endpoints).
+		for node := mesh.NodeID(n); int(node) < b.Nodes(); node++ {
+			a0, ok0 := b.Neighbor(node, 0)
+			a1, ok1 := b.Neighbor(node, 1)
+			if !ok0 || !ok1 || a0 == a1 {
+				t.Fatalf("n=%d switch %d: outputs (%d,%v) (%d,%v)", n, node, a0, ok0, a1, ok1)
+			}
+		}
+	}
+}
+
+func TestBenesReachability(t *testing.T) {
+	// From any endpoint, following the compiled routes must reach every
+	// other endpoint — and a one-to-all flood through Neighbor must
+	// cover the whole output side (the spanning-tree builder relies on
+	// this).
+	b, err := NewBenes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := mesh.NodeID(0); int(src) < b.Endpoints(); src++ {
+		for dst := mesh.NodeID(0); int(dst) < b.Endpoints(); dst++ {
+			nodes := Walk(b, src, dst)
+			if nodes[len(nodes)-1] != dst {
+				t.Fatalf("route %d->%d ends at %d", src, dst, nodes[len(nodes)-1])
+			}
+			if len(nodes) < 2 {
+				continue
+			}
+			for _, mid := range nodes[1 : len(nodes)-1] {
+				if int(mid) < b.Endpoints() {
+					t.Fatalf("route %d->%d passes through endpoint %d", src, dst, mid)
+				}
+			}
+		}
+	}
+}
+
+func TestBenesRouteDeterminism(t *testing.T) {
+	b, err := NewBenes(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, c []mesh.Dir
+	for src := mesh.NodeID(0); src < 64; src += 5 {
+		for dst := mesh.NodeID(0); dst < 64; dst += 3 {
+			a = b.AppendRoute(a[:0], src, dst)
+			c = b.AppendRoute(c[:0], src, dst)
+			for i := range a {
+				if a[i] != c[i] {
+					t.Fatalf("route %d->%d not deterministic", src, dst)
+				}
+			}
+		}
+	}
+}

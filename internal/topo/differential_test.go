@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+)
+
+// The mesh topology must be a pure re-expression of the legacy direct
+// calls: identical routes, identical control bits, identical detours.
+// These tests compare the interface path against the legacy path pair by
+// pair so the simulators' golden outputs cannot drift through the
+// refactor.
+
+var diffGeometries = [][2]int{
+	{1, 1}, {2, 1}, {1, 2}, {2, 2}, {3, 2}, {2, 3}, {4, 4}, {5, 3},
+	{8, 8}, {16, 16},
+}
+
+func TestMesh2DRoutesMatchLegacy(t *testing.T) {
+	for _, g := range diffGeometries {
+		w, h := g[0], g[1]
+		top := NewMesh2D(w, h)
+		m := mesh.New(w, h)
+		buf := make([]mesh.Dir, 0, top.MaxRouteLen())
+		for src := mesh.NodeID(0); int(src) < m.Nodes(); src++ {
+			for dst := mesh.NodeID(0); int(dst) < m.Nodes(); dst++ {
+				legacy := m.Route(src, dst)
+				got := top.AppendRoute(buf[:0], src, dst)
+				if len(got) != len(legacy) {
+					t.Fatalf("%dx%d %d->%d: route length %d, legacy %d", w, h, src, dst, len(got), len(legacy))
+				}
+				for i := range legacy {
+					if got[i] != legacy[i] {
+						t.Fatalf("%dx%d %d->%d: route[%d]=%s, legacy %s", w, h, src, dst, i, got[i], legacy[i])
+					}
+					if p := top.PortAt(src, dst, i); p != legacy[i] {
+						t.Fatalf("%dx%d %d->%d: PortAt(%d)=%s, legacy %s", w, h, src, dst, i, p, legacy[i])
+					}
+				}
+				if top.HopDistance(src, dst) != m.HopDistance(src, dst) {
+					t.Fatalf("%dx%d %d->%d: HopDistance mismatch", w, h, src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestMesh2DControlBitsMatchLegacy(t *testing.T) {
+	for _, g := range diffGeometries {
+		w, h := g[0], g[1]
+		top := NewMesh2D(w, h)
+		m := mesh.New(w, h)
+		for src := mesh.NodeID(0); int(src) < m.Nodes(); src++ {
+			for dst := mesh.NodeID(0); int(dst) < m.Nodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				wantC, wantD := packet.BuildControl(m, src, dst)
+				gotC, gotD := top.EncodeControl(src, dst)
+				if gotC != wantC || gotD != wantD {
+					t.Fatalf("%dx%d %d->%d: control (%v,%s), legacy (%v,%s)",
+						w, h, src, dst, gotC, gotD, wantC, wantD)
+				}
+			}
+		}
+	}
+}
+
+func TestMesh2DDetoursMatchLegacy(t *testing.T) {
+	// A deterministic sprinkling of dead links: every third link in a
+	// fixed enumeration order. Both routers see the same predicate, so
+	// their BFS detours must agree exactly.
+	for _, g := range [][2]int{{4, 4}, {8, 8}, {5, 3}} {
+		w, h := g[0], g[1]
+		top := NewMesh2D(w, h)
+		m := mesh.New(w, h)
+		fr := mesh.NewFaultRouter(m)
+		usable := func(from mesh.NodeID, d mesh.Dir) bool {
+			return (int(from)*mesh.NumLinkDirs+int(d))%3 != 0
+		}
+		var bufA, bufB []mesh.Dir
+		for src := mesh.NodeID(0); int(src) < m.Nodes(); src++ {
+			for dst := mesh.NodeID(0); int(dst) < m.Nodes(); dst++ {
+				wantR, wantOK := fr.AppendRoute(bufA[:0], src, dst, usable)
+				gotR, gotOK := top.AppendDetour(bufB[:0], src, dst, usable)
+				if gotOK != wantOK || len(gotR) != len(wantR) {
+					t.Fatalf("%dx%d %d->%d: detour (%v,%v), legacy (%v,%v)",
+						w, h, src, dst, gotR, gotOK, wantR, wantOK)
+				}
+				for i := range wantR {
+					if gotR[i] != wantR[i] {
+						t.Fatalf("%dx%d %d->%d: detour[%d] mismatch", w, h, src, dst, i)
+					}
+				}
+				bufA, bufB = wantR, gotR
+			}
+		}
+	}
+}
+
+// TestMesh2DRouteCompilerAllocs pins the zero-allocation contract of the
+// interface path: compiling routes and control words through the
+// Topology must not allocate once the caller's buffer has capacity.
+func TestMesh2DRouteCompilerAllocs(t *testing.T) {
+	top := NewMesh2D(8, 8)
+	buf := make([]mesh.Dir, 0, top.MaxRouteLen())
+	var sink packet.Control
+	allocs := testing.AllocsPerRun(200, func() {
+		for src := mesh.NodeID(0); src < 8; src++ {
+			for dst := mesh.NodeID(0); int(dst) < top.Nodes(); dst += 7 {
+				buf = top.AppendRoute(buf[:0], src, dst)
+				if src != dst {
+					sink, _ = top.EncodeControl(src, dst)
+					_ = top.PortAt(src, dst, 0)
+				}
+			}
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("route compiler allocates %.1f per run, want 0", allocs)
+	}
+}

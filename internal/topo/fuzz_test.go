@@ -1,0 +1,53 @@
+package topo
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+)
+
+// FuzzBenesRoute drives the Benes route compiler across arbitrary sizes
+// and endpoint pairs: every compiled route must use in-range ports,
+// agree with PortAt at every hop, walk through switches only, and land
+// exactly on the destination in HopDistance links.
+func FuzzBenesRoute(f *testing.F) {
+	f.Add(uint8(1), uint16(0), uint16(1))
+	f.Add(uint8(3), uint16(5), uint16(2))
+	f.Add(uint8(6), uint16(63), uint16(0))
+	f.Add(uint8(6), uint16(17), uint16(17))
+	f.Add(uint8(8), uint16(255), uint16(128))
+	f.Fuzz(func(t *testing.T, kRaw uint8, srcRaw, dstRaw uint16) {
+		k := int(kRaw)%8 + 1 // 2..256 endpoints
+		n := 1 << k
+		b, err := NewBenes(n)
+		if err != nil {
+			t.Fatalf("NewBenes(%d): %v", n, err)
+		}
+		src := mesh.NodeID(int(srcRaw) % n)
+		dst := mesh.NodeID(int(dstRaw) % n)
+		route := b.AppendRoute(nil, src, dst)
+		if len(route) != b.HopDistance(src, dst) {
+			t.Fatalf("n=%d %d->%d: %d links, HopDistance %d", n, src, dst, len(route), b.HopDistance(src, dst))
+		}
+		cur := src
+		for i, p := range route {
+			if int(p) < 0 || int(p) >= b.Degree(cur) {
+				t.Fatalf("n=%d %d->%d: port %d out of degree %d at %d", n, src, dst, p, b.Degree(cur), cur)
+			}
+			if q := b.PortAt(src, dst, i); q != p {
+				t.Fatalf("n=%d %d->%d: PortAt(%d)=%d, route has %d", n, src, dst, i, q, p)
+			}
+			next, ok := b.Neighbor(cur, p)
+			if !ok {
+				t.Fatalf("n=%d %d->%d: dead port %d at %d", n, src, dst, p, cur)
+			}
+			if i > 0 && int(cur) < n {
+				t.Fatalf("n=%d %d->%d: route forwards through endpoint %d", n, src, dst, cur)
+			}
+			cur = next
+		}
+		if cur != dst {
+			t.Fatalf("n=%d %d->%d: route ends at %d", n, src, dst, cur)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package topo
+
+import "fmt"
+
+// Names lists the registered fabrics in presentation order.
+func Names() []string { return []string{"mesh", "benes", "shufflecast"} }
+
+// New builds the named fabric from the shared geometry flags. The mesh
+// is width x height; the indirect fabrics only need the endpoint count
+// width*height (pass the node count as -width with -height 1, or keep a
+// rectangle whose product fits the fabric's radix rule). Benes requires
+// a power-of-two endpoint count; shufflecast a power of the arity.
+func New(name string, width, height, arity int) (Topology, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("topo: invalid geometry %dx%d", width, height)
+	}
+	switch name {
+	case "mesh", "":
+		return NewMesh2D(width, height), nil
+	case "benes":
+		return NewBenes(width * height)
+	case "shufflecast":
+		return NewShufflecast(width*height, arity)
+	default:
+		return nil, fmt.Errorf("topo: unknown fabric %q (have %v)", name, Names())
+	}
+}

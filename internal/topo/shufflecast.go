@@ -1,0 +1,138 @@
+package topo
+
+import (
+	"fmt"
+
+	"phastlane/internal/mesh"
+)
+
+// Shufflecast is a k-ary de Bruijn fabric in the style of the
+// Shufflecast optical multicast architecture: n = k^m nodes, each with k
+// outgoing links, where port j of node x leads to (k*x + j) mod n — a
+// perfect-shuffle interconnect. Every node is an endpoint; multicast
+// spanning trees built over the shuffle links reach all n-1 other nodes
+// in at most m hops with fan-out k per node, which is what makes the
+// fabric attractive for the VCTM-style tree machinery.
+//
+// Unicast routes shift the destination address in digit by digit: the
+// route from src to dst is the shortest L <= m such that dst's address
+// equals src's address shifted left L digits with some L-digit suffix v
+// appended (mod n); the ports are v's base-k digits, most significant
+// first.
+type Shufflecast struct {
+	k int // arity: out-links per node
+	m int // digits: diameter
+	n int // nodes = k^m
+}
+
+var _ Topology = (*Shufflecast)(nil)
+
+// NewShufflecast returns the shuffle fabric with n nodes of arity k.
+// n must be an exact power k^m with k >= 2.
+func NewShufflecast(n, k int) (*Shufflecast, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("shufflecast: arity %d must be >= 2", k)
+	}
+	m, p := 0, 1
+	for p < n {
+		p *= k
+		m++
+	}
+	if p != n || n < k {
+		return nil, fmt.Errorf("shufflecast: node count %d is not a power of arity %d", n, k)
+	}
+	return &Shufflecast{k: k, m: m, n: n}, nil
+}
+
+// Arity returns k, the per-node fan-out.
+func (t *Shufflecast) Arity() int { return t.k }
+
+// Name returns "shufflecast".
+func (t *Shufflecast) Name() string { return "shufflecast" }
+
+// Nodes returns k^m.
+func (t *Shufflecast) Nodes() int { return t.n }
+
+// Endpoints equals Nodes: every shuffle node sources and sinks traffic.
+func (t *Shufflecast) Endpoints() int { return t.n }
+
+// Degree is the arity k at every node.
+func (t *Shufflecast) Degree(mesh.NodeID) int { return t.k }
+
+// Neighbor follows the shuffle link: port j of x reaches (k*x+j) mod n.
+// Some links are self-loops (node 0 port 0); they exist physically and
+// Neighbor reports them like any other link.
+func (t *Shufflecast) Neighbor(n mesh.NodeID, p mesh.Dir) (mesh.NodeID, bool) {
+	if p < 0 || int(p) >= t.k {
+		return 0, false
+	}
+	return mesh.NodeID((t.k*int(n) + int(p)) % t.n), true
+}
+
+// routeLen returns the shortest route length L and the suffix value v
+// whose base-k digits are the ports.
+func (t *Shufflecast) routeLen(src, dst mesh.NodeID) (L int, v int) {
+	// After L hops from src taking digit sequence v (value in [0, k^L)),
+	// the position is (src*k^L + v) mod n. The smallest L whose residue
+	// lands in range is the shortest route.
+	pow := 1 // k^L
+	for L = 0; L <= t.m; L++ {
+		v = (int(dst) - int(src)*pow) % t.n
+		if v < 0 {
+			v += t.n
+		}
+		if v < pow {
+			return L, v
+		}
+		pow *= t.k
+	}
+	panic(fmt.Sprintf("shufflecast: no route %d->%d", src, dst)) // unreachable: L=m always matches
+}
+
+// HopDistance is the shortest shuffle-route length, at most m.
+func (t *Shufflecast) HopDistance(a, b mesh.NodeID) int {
+	L, _ := t.routeLen(a, b)
+	return L
+}
+
+// AppendRoute appends the digits of the shortest route, most significant
+// first.
+func (t *Shufflecast) AppendRoute(buf []mesh.Dir, src, dst mesh.NodeID) []mesh.Dir {
+	L, v := t.routeLen(src, dst)
+	pow := 1
+	for i := 0; i < L-1; i++ {
+		pow *= t.k
+	}
+	for i := 0; i < L; i++ {
+		buf = append(buf, mesh.Dir(v/pow%t.k))
+		pow /= t.k
+	}
+	return buf
+}
+
+// PortAt returns digit i of the route without materialising it.
+func (t *Shufflecast) PortAt(src, dst mesh.NodeID, i int) mesh.Dir {
+	L, v := t.routeLen(src, dst)
+	if i < 0 || i >= L {
+		panic(fmt.Sprintf("shufflecast: PortAt index %d out of range for route %d->%d", i, src, dst))
+	}
+	pow := 1
+	for j := 0; j < L-1-i; j++ {
+		pow *= t.k
+	}
+	return mesh.Dir(v / pow % t.k)
+}
+
+// MaxRouteLen is the diameter m.
+func (t *Shufflecast) MaxRouteLen() int { return t.m }
+
+// NodeLabel renders the node ID with its base-k address, "27 [123]".
+func (t *Shufflecast) NodeLabel(n mesh.NodeID) string {
+	digits := make([]byte, t.m)
+	v := int(n)
+	for i := t.m - 1; i >= 0; i-- {
+		digits[i] = byte('0' + v%t.k)
+		v /= t.k
+	}
+	return fmt.Sprintf("%d [%s]", n, digits)
+}

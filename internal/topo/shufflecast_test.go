@@ -1,0 +1,58 @@
+package topo
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+)
+
+// bfsDistances returns single-source shortest link counts over Neighbor.
+func bfsDistances(top Topology, src mesh.NodeID) []int {
+	dist := make([]int, top.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []mesh.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for p := 0; p < top.Degree(cur); p++ {
+			next, ok := top.Neighbor(cur, mesh.Dir(p))
+			if !ok || dist[next] >= 0 {
+				continue
+			}
+			dist[next] = dist[cur] + 1
+			queue = append(queue, next)
+		}
+	}
+	return dist
+}
+
+// TestShufflecastRoutesAreShortest proves the digit-shift route compiler
+// finds true shortest paths: HopDistance must equal BFS distance over
+// the shuffle links for every pair.
+func TestShufflecastRoutesAreShortest(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{8, 2}, {64, 2}, {27, 3}, {64, 4}} {
+		s, err := NewShufflecast(c.n, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := mesh.NodeID(0); int(src) < c.n; src++ {
+			dist := bfsDistances(s, src)
+			for dst := mesh.NodeID(0); int(dst) < c.n; dst++ {
+				if got := s.HopDistance(src, dst); got != dist[dst] {
+					t.Fatalf("n=%d k=%d %d->%d: HopDistance=%d, BFS=%d", c.n, c.k, src, dst, got, dist[dst])
+				}
+			}
+		}
+	}
+}
+
+func TestShufflecastRejectsBadRadix(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{12, 2}, {10, 3}, {8, 1}, {0, 2}} {
+		if _, err := NewShufflecast(c.n, c.k); err == nil {
+			t.Fatalf("NewShufflecast(%d,%d): want error", c.n, c.k)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package topo abstracts the network fabric behind a Topology interface
+// so simulators, fault routing, observability and provenance can run on
+// any graph — the 2D mesh of the paper, a Benes multistage network, a
+// Shufflecast-style de Bruijn multicast fabric — without knowing its
+// geometry.
+//
+// # Ownership
+//
+// Route compilation is owned by this package: simulators and harnesses
+// obtain port sequences and control words through a Topology (AppendRoute,
+// PortAt, ControlEncoder), never by calling mesh.Route or
+// packet.BuildControl directly. The mesh primitives remain exported for
+// the Mesh2D implementation itself and for geometry-level tests, but any
+// new call site outside internal/topo is a layering bug.
+//
+// # Ports
+//
+// A port is a mesh.Dir value indexing one of a node's output links,
+// 0 <= port < Degree(n). On the mesh the values keep their compass
+// meaning (North/East/South/West); on other fabrics they are plain
+// indices and the compass names do not apply. Routes are sequences of
+// ports: route[i] is the output port taken at the i-th node of the path.
+//
+// # Zero-allocation contract
+//
+// AppendRoute appends into a caller-owned buffer and must not allocate
+// when cap(buf) suffices; PortAt answers random-access route queries with
+// no allocation at all. Implementations must be safe for concurrent
+// read-only use after construction, except where a method documents
+// otherwise (Mesh2D.AppendDetour reuses BFS scratch and is single-
+// goroutine, matching the simulators' use).
+package topo
+
+import (
+	"phastlane/internal/mesh"
+	"phastlane/internal/packet"
+)
+
+// Topology is the fabric-graph contract shared by every network
+// implementation. Nodes are identified by mesh.NodeID in [0, Nodes());
+// the first Endpoints() of them inject and eject traffic, while any
+// higher IDs are internal switch stages (indirect fabrics such as Benes).
+type Topology interface {
+	// Name returns the registry name of the fabric ("mesh", "benes", ...).
+	Name() string
+	// Nodes returns the total graph node count, endpoints first.
+	Nodes() int
+	// Endpoints returns how many nodes source and sink traffic. For
+	// direct fabrics (mesh, shufflecast) this equals Nodes().
+	Endpoints() int
+	// Degree returns the number of output ports of node n. Ports are
+	// numbered 0..Degree(n)-1; a port may still be unconnected at a
+	// boundary (Neighbor returns false), as on mesh edges.
+	Degree(n mesh.NodeID) int
+	// Neighbor returns the node reached from n through port p and true,
+	// or false when the port is unconnected.
+	Neighbor(n mesh.NodeID, p mesh.Dir) (mesh.NodeID, bool)
+	// HopDistance returns the number of links the compiled route from
+	// endpoint a to endpoint b traverses (0 when a == b).
+	HopDistance(a, b mesh.NodeID) int
+	// AppendRoute appends the port sequence of the route from endpoint
+	// src to endpoint dst to buf and returns the extended slice. It must
+	// not allocate when cap(buf)-len(buf) >= HopDistance(src, dst). The
+	// route is deterministic: the same (src, dst) always compiles to the
+	// same ports.
+	AppendRoute(buf []mesh.Dir, src, dst mesh.NodeID) []mesh.Dir
+	// PortAt returns the i-th port (0-based) of the route from src to
+	// dst without materialising it. i must be in
+	// [0, HopDistance(src, dst)); out-of-range indices panic.
+	PortAt(src, dst mesh.NodeID, i int) mesh.Dir
+	// MaxRouteLen returns the longest route AppendRoute can produce, so
+	// callers can size scratch buffers once.
+	MaxRouteLen() int
+	// NodeLabel names node n for traces, heatmaps and blame reports —
+	// "12 (4,1)" on the mesh, "s1.3" for a Benes switch.
+	NodeLabel(n mesh.NodeID) string
+}
+
+// ControlEncoder is implemented by topologies whose routes compile to
+// Phastlane 5-bit control words (today: the mesh). EncodeControl returns
+// the predecoded control groups and the initial travel direction for a
+// packet from src to dst, truncating at an interim stop when the route
+// needs more than packet.MaxGroups routers. It must not allocate.
+type ControlEncoder interface {
+	EncodeControl(src, dst mesh.NodeID) (packet.Control, mesh.Dir)
+}
+
+// FaultRouting is implemented by topologies that can compile detours
+// around failed links. AppendDetour appends a route from src to dst using
+// only links for which usable returns true, falling back to a minimal
+// search when the primary route is blocked; ok is false when dst is
+// unreachable. Like AppendRoute it reuses buf, but implementations may
+// keep internal scratch and be single-goroutine (Mesh2D's BFS is).
+type FaultRouting interface {
+	AppendDetour(buf []mesh.Dir, src, dst mesh.NodeID, usable mesh.LinkUsable) ([]mesh.Dir, bool)
+}
+
+// Walk traverses the compiled route from src to dst through Neighbor
+// calls and returns the visited nodes, endpoints included. It is a test
+// and tooling helper (it allocates); simulators advance hop by hop
+// themselves.
+func Walk(t Topology, src, dst mesh.NodeID) []mesh.NodeID {
+	nodes := []mesh.NodeID{src}
+	cur := src
+	for i := 0; i < t.HopDistance(src, dst); i++ {
+		next, ok := t.Neighbor(cur, t.PortAt(src, dst, i))
+		if !ok {
+			return nodes
+		}
+		cur = next
+		nodes = append(nodes, cur)
+	}
+	return nodes
+}

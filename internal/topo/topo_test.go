@@ -1,0 +1,121 @@
+package topo
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+)
+
+// contractFabrics enumerates one instance of every registered fabric for
+// the interface-contract tests.
+func contractFabrics(t *testing.T) []Topology {
+	t.Helper()
+	b, err := NewBenes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewShufflecast(27, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewShufflecast(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Topology{NewMesh2D(4, 4), b, s, s2}
+}
+
+// TestTopologyContract checks the properties every fabric must share:
+// routes have HopDistance links, walk via Neighbor from src to dst, use
+// only in-range ports, fit MaxRouteLen, and agree with PortAt.
+func TestTopologyContract(t *testing.T) {
+	for _, top := range contractFabrics(t) {
+		buf := make([]mesh.Dir, 0, top.MaxRouteLen())
+		for src := mesh.NodeID(0); int(src) < top.Endpoints(); src++ {
+			for dst := mesh.NodeID(0); int(dst) < top.Endpoints(); dst++ {
+				route := top.AppendRoute(buf[:0], src, dst)
+				if len(route) != top.HopDistance(src, dst) {
+					t.Fatalf("%s %d->%d: %d links, HopDistance %d",
+						top.Name(), src, dst, len(route), top.HopDistance(src, dst))
+				}
+				if len(route) > top.MaxRouteLen() {
+					t.Fatalf("%s %d->%d: route %d exceeds MaxRouteLen %d",
+						top.Name(), src, dst, len(route), top.MaxRouteLen())
+				}
+				cur := src
+				for i, p := range route {
+					if int(p) < 0 || int(p) >= top.Degree(cur) {
+						t.Fatalf("%s %d->%d: port %d out of degree %d at node %d",
+							top.Name(), src, dst, p, top.Degree(cur), cur)
+					}
+					if q := top.PortAt(src, dst, i); q != p {
+						t.Fatalf("%s %d->%d: PortAt(%d)=%d, route has %d", top.Name(), src, dst, i, q, p)
+					}
+					next, ok := top.Neighbor(cur, p)
+					if !ok {
+						t.Fatalf("%s %d->%d: route walks off fabric at %d port %d", top.Name(), src, dst, cur, p)
+					}
+					cur = next
+				}
+				if cur != dst {
+					t.Fatalf("%s %d->%d: route ends at %d", top.Name(), src, dst, cur)
+				}
+			}
+		}
+		for n := mesh.NodeID(0); int(n) < top.Nodes(); n++ {
+			if top.NodeLabel(n) == "" {
+				t.Fatalf("%s: empty label for node %d", top.Name(), n)
+			}
+		}
+	}
+}
+
+// TestAppendRouteZeroAlloc pins the zero-allocation half of the route
+// compiler contract for every fabric.
+func TestAppendRouteZeroAlloc(t *testing.T) {
+	for _, top := range contractFabrics(t) {
+		buf := make([]mesh.Dir, 0, top.MaxRouteLen())
+		allocs := testing.AllocsPerRun(100, func() {
+			for dst := mesh.NodeID(0); int(dst) < top.Endpoints(); dst++ {
+				buf = top.AppendRoute(buf[:0], 0, dst)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: AppendRoute allocates %.1f per run, want 0", top.Name(), allocs)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	cases := []struct {
+		name          string
+		w, h, arity   int
+		wantName      string
+		wantEndpoints int
+		wantErr       bool
+	}{
+		{"mesh", 8, 8, 2, "mesh", 64, false},
+		{"", 4, 4, 2, "mesh", 16, false},
+		{"benes", 8, 8, 2, "benes", 64, false},
+		{"benes", 3, 3, 2, "", 0, true},
+		{"shufflecast", 8, 8, 4, "shufflecast", 64, false},
+		{"shufflecast", 8, 8, 3, "", 0, true},
+		{"ring", 8, 8, 2, "", 0, true},
+	}
+	for _, c := range cases {
+		top, err := New(c.name, c.w, c.h, c.arity)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("New(%q,%d,%d,%d): want error", c.name, c.w, c.h, c.arity)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("New(%q,%d,%d,%d): %v", c.name, c.w, c.h, c.arity, err)
+		}
+		if top.Name() != c.wantName || top.Endpoints() != c.wantEndpoints {
+			t.Fatalf("New(%q): got (%s,%d), want (%s,%d)",
+				c.name, top.Name(), top.Endpoints(), c.wantName, c.wantEndpoints)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package vctm
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/topo"
+)
+
+// walkGraphTree traverses a tree over an arbitrary fabric and returns
+// per-node delivery counts, failing on cycles or dead ports.
+func walkGraphTree(t *testing.T, g Graph, tree *Tree) map[mesh.NodeID]int {
+	t.Helper()
+	got := make(map[mesh.NodeID]int)
+	var visit func(at mesh.NodeID, depth int)
+	visit = func(at mesh.NodeID, depth int) {
+		if depth > g.Nodes() {
+			t.Fatal("tree walk too deep; cycle?")
+		}
+		if tree.Deliver(at) {
+			got[at]++
+		}
+		for _, d := range tree.Children(at) {
+			next, ok := g.Neighbor(at, d)
+			if !ok {
+				t.Fatalf("tree branch dead port at %d port %d", at, d)
+			}
+			visit(next, depth+1)
+		}
+	}
+	visit(tree.Src(), 0)
+	return got
+}
+
+func spanningFabrics(t *testing.T) []topo.Topology {
+	t.Helper()
+	b, err := topo.NewBenes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := topo.NewShufflecast(27, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []topo.Topology{topo.NewMesh2D(4, 4), b, s}
+}
+
+// TestSpanningBroadcastCoversAll checks the BFS builder on every fabric:
+// a broadcast tree must deliver to each other endpoint exactly once
+// without re-entering any terminal.
+func TestSpanningBroadcastCoversAll(t *testing.T) {
+	for _, g := range spanningFabrics(t) {
+		for src := mesh.NodeID(0); int(src) < g.Endpoints(); src++ {
+			var dsts []mesh.NodeID
+			for d := mesh.NodeID(0); int(d) < g.Endpoints(); d++ {
+				if d != src {
+					dsts = append(dsts, d)
+				}
+			}
+			tree := BuildSpanning(g, src, dsts)
+			got := walkGraphTree(t, g, tree)
+			if len(got) != len(dsts) {
+				t.Fatalf("%s src %d: delivered to %d endpoints, want %d", g.Name(), src, len(got), len(dsts))
+			}
+			for n, c := range got {
+				if c != 1 {
+					t.Fatalf("%s src %d: endpoint %d delivered %d times", g.Name(), src, n, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSpanningSubsetPrunes checks that a small destination set yields a
+// pruned tree: every leaf of the tree delivers.
+func TestSpanningSubsetPrunes(t *testing.T) {
+	for _, g := range spanningFabrics(t) {
+		dsts := []mesh.NodeID{1, mesh.NodeID(g.Endpoints() / 2), mesh.NodeID(g.Endpoints() - 1)}
+		tree := BuildSpanning(g, 0, dsts)
+		got := walkGraphTree(t, g, tree)
+		if len(got) != 3 {
+			t.Fatalf("%s: delivered %v", g.Name(), got)
+		}
+		var checkLeaves func(at mesh.NodeID)
+		checkLeaves = func(at mesh.NodeID) {
+			if len(tree.Children(at)) == 0 && !tree.Deliver(at) {
+				t.Fatalf("%s: leaf %d delivers nothing (unpruned branch)", g.Name(), at)
+			}
+			for _, d := range tree.Children(at) {
+				next, _ := g.Neighbor(at, d)
+				checkLeaves(next)
+			}
+		}
+		checkLeaves(tree.Src())
+	}
+}
+
+// TestBuildMatchesLegacyOnMesh pins that the interface-typed Build still
+// produces byte-identical trees to the mesh path-union semantics: the
+// topo.Mesh2D and the raw *mesh.Mesh compile the same routes, so the
+// trees must agree node by node.
+func TestBuildMatchesLegacyOnMesh(t *testing.T) {
+	m := mesh.New(8, 8)
+	top := topo.NewMesh2D(8, 8)
+	dsts := []mesh.NodeID{3, 24, 60, 13, 45}
+	a := Build(m, 7, dsts)
+	b := Build(top, 7, dsts)
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		ca, cb := a.Children(n), b.Children(n)
+		if len(ca) != len(cb) {
+			t.Fatalf("node %d: children %v vs %v", n, ca, cb)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("node %d: children %v vs %v", n, ca, cb)
+			}
+		}
+		if a.Deliver(n) != b.Deliver(n) {
+			t.Fatalf("node %d: deliver mismatch", n)
+		}
+	}
+}

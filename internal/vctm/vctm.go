@@ -1,14 +1,18 @@
 // Package vctm implements Virtual Circuit Tree Multicasting (Jerger, Peh,
 // Lipasti, ISCA 2008) as used by the paper's electrical baseline to perform
 // packet broadcasts (Section 4): a multicast packet follows a pre-built
-// dimension-order tree rooted at its source, and routers replicate it onto
-// each child branch.
+// tree rooted at its source, and routers replicate it onto each child
+// branch.
 //
-// Trees are the union of the X-then-Y paths from the root to every
-// destination, which is exactly the tree the VCTM setup packets would carve
-// out in a dimension-order network. The electrical simulator builds one
-// tree per (source, destination-set) and caches it, mirroring VCTM's
-// virtual-circuit-tree table reuse.
+// Two builders exist. Build unions the fabric's unicast routes from the
+// root to every destination — on the mesh these are the X-then-Y paths,
+// which is exactly the tree the VCTM setup packets would carve out in a
+// dimension-order network. BuildSpanning instead grows a breadth-first
+// spanning tree over the fabric graph and prunes branches that reach no
+// destination; it is the right shape for fabrics whose unicast routes can
+// remerge or self-intersect (de Bruijn shuffles, multistage networks).
+// The electrical simulator builds one tree per (source, destination-set)
+// and caches it, mirroring VCTM's virtual-circuit-tree table reuse.
 package vctm
 
 import (
@@ -18,8 +22,24 @@ import (
 	"phastlane/internal/mesh"
 )
 
+// RouteGraph is the topology view Build needs: unicast route compilation
+// plus link traversal. Both *mesh.Mesh and the topo.Topology
+// implementations satisfy it.
+type RouteGraph interface {
+	Neighbor(n mesh.NodeID, p mesh.Dir) (mesh.NodeID, bool)
+	AppendRoute(buf []mesh.Dir, src, dst mesh.NodeID) []mesh.Dir
+}
+
+// Graph is the topology view BuildSpanning needs: full node/port
+// enumeration for the breadth-first walk. topo.Topology satisfies it.
+type Graph interface {
+	RouteGraph
+	Nodes() int
+	Degree(n mesh.NodeID) int
+}
+
 // Tree is a multicast tree rooted at Src. The zero value is unusable;
-// construct with Build.
+// construct with Build or BuildSpanning.
 type Tree struct {
 	src      mesh.NodeID
 	children map[mesh.NodeID][]mesh.Dir
@@ -27,28 +47,30 @@ type Tree struct {
 	size     int
 }
 
-// Build constructs the dimension-order multicast tree from src to dsts.
+// Build constructs the route-union multicast tree from src to dsts.
 // It panics when dsts is empty or contains src (configuration errors).
-func Build(m *mesh.Mesh, src mesh.NodeID, dsts []mesh.NodeID) *Tree {
+func Build(g RouteGraph, src mesh.NodeID, dsts []mesh.NodeID) *Tree {
 	if len(dsts) == 0 {
 		panic("vctm: empty destination set")
 	}
 	edges := make(map[mesh.NodeID]map[mesh.Dir]bool)
 	deliver := make(map[mesh.NodeID]bool, len(dsts))
+	var route []mesh.Dir
 	for _, dst := range dsts {
 		if dst == src {
 			panic("vctm: destination set contains the source")
 		}
 		deliver[dst] = true
 		cur := src
-		for _, d := range m.Route(src, dst) {
+		route = g.AppendRoute(route[:0], src, dst)
+		for _, d := range route {
 			if edges[cur] == nil {
 				edges[cur] = make(map[mesh.Dir]bool)
 			}
 			edges[cur][d] = true
-			next, ok := m.Neighbor(cur, d)
+			next, ok := g.Neighbor(cur, d)
 			if !ok {
-				panic(fmt.Sprintf("vctm: route walks off mesh at %d", cur))
+				panic(fmt.Sprintf("vctm: route walks off fabric at %d", cur))
 			}
 			cur = next
 		}
@@ -60,6 +82,77 @@ func Build(m *mesh.Mesh, src mesh.NodeID, dsts []mesh.NodeID) *Tree {
 		size:     len(dsts),
 	}
 	for node, dirs := range edges {
+		list := make([]mesh.Dir, 0, len(dirs))
+		for d := range dirs {
+			list = append(list, d)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		t.children[node] = list
+	}
+	return t
+}
+
+// BuildSpanning constructs a breadth-first spanning multicast tree from
+// src covering dsts, pruned to the branches that reach at least one
+// destination. Ports are explored in ascending order, so the tree is
+// deterministic. Terminal nodes (degree 1, as on Benes endpoints) are
+// never expanded through — a delivered packet does not re-enter the
+// fabric — except for src itself, which injects. It panics when dsts is
+// empty, contains src, or some destination is unreachable.
+func BuildSpanning(g Graph, src mesh.NodeID, dsts []mesh.NodeID) *Tree {
+	if len(dsts) == 0 {
+		panic("vctm: empty destination set")
+	}
+	parent := make([]mesh.NodeID, g.Nodes())
+	inPort := make([]mesh.Dir, g.Nodes())
+	seen := make([]bool, g.Nodes())
+	seen[src] = true
+	queue := []mesh.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != src && g.Degree(cur) == 1 {
+			continue
+		}
+		for p := 0; p < g.Degree(cur); p++ {
+			next, ok := g.Neighbor(cur, mesh.Dir(p))
+			if !ok || seen[next] {
+				continue
+			}
+			seen[next] = true
+			parent[next] = cur
+			inPort[next] = mesh.Dir(p)
+			queue = append(queue, next)
+		}
+	}
+	deliver := make(map[mesh.NodeID]bool, len(dsts))
+	kept := make(map[mesh.NodeID]map[mesh.Dir]bool)
+	for _, dst := range dsts {
+		if dst == src {
+			panic("vctm: destination set contains the source")
+		}
+		if !seen[dst] {
+			panic(fmt.Sprintf("vctm: destination %d unreachable from %d", dst, src))
+		}
+		deliver[dst] = true
+		for cur := dst; cur != src; cur = parent[cur] {
+			p := parent[cur]
+			if kept[p] == nil {
+				kept[p] = make(map[mesh.Dir]bool)
+			}
+			if kept[p][inPort[cur]] {
+				break // the rest of the chain is already in the tree
+			}
+			kept[p][inPort[cur]] = true
+		}
+	}
+	t := &Tree{
+		src:      src,
+		children: make(map[mesh.NodeID][]mesh.Dir, len(kept)),
+		deliver:  deliver,
+		size:     len(dsts),
+	}
+	for node, dirs := range kept {
 		list := make([]mesh.Dir, 0, len(dirs))
 		for d := range dirs {
 			list = append(list, d)
