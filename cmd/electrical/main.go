@@ -37,6 +37,7 @@ func main() {
 	seed := cliflags.Seed(flag.CommandLine)
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
 	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
+	ccFlags := cliflags.RegisterCC(flag.CommandLine)
 	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		if *faultSpec != "" {
 			fail(geo.RequireMesh("-faults"))
 		}
-		fnet, err := geo.FabricNetwork(*delay, *seed)
+		fnet, err := geo.FabricNetwork(*delay, *lossTimeout, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -80,6 +81,9 @@ func main() {
 
 	var res sim.Result
 	if *tracePath != "" {
+		if ccFlags.Enabled {
+			fail(fmt.Errorf("-cc applies to synthetic-traffic runs, not -trace replay"))
+		}
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			fail(err)
@@ -99,11 +103,22 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		gov, err := ccFlags.Governor(net.Nodes(), *seed)
+		if err != nil {
+			fail(err)
+		}
+		if gov != nil && tel != nil {
+			gov.Register(tel.Reg)
+		}
 		res = sim.RunRate(net, sim.RateConfig{
 			Pattern: pattern, Rate: *rate, Measure: *measure, Seed: *seed,
-			Telemetry: tel,
+			Telemetry: tel, CC: gov,
 		})
 		fmt.Printf("pattern %s at rate %.3f over %d cycles\n", *trafficName, *rate, *measure)
+		if gov != nil {
+			fmt.Printf("cc: mean admitted rate %.4f pkts/node/cycle; %d injections paced\n",
+				gov.MeanRate(), res.Paced)
+		}
 	}
 	fmt.Printf("delivered %d messages; avg latency %.2f cycles (p99 %.0f)\n",
 		res.Run.Delivered, res.Run.Latency.Mean(), res.Run.Latency.Percentile(99))

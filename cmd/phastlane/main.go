@@ -40,6 +40,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan: spec string, inline JSON, or @file")
 	retryLimit := flag.Int("retry-limit", 0, "drop-retry budget per packet (0 = unlimited)")
 	lossTimeout := flag.Int64("loss-timeout", 0, "cycles before an undelivered packet is declared lost (0 = never)")
+	ccFlags := cliflags.RegisterCC(flag.CommandLine)
 	telFlags := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -70,7 +71,10 @@ func main() {
 		if *faultSpec != "" {
 			fail(geo.RequireMesh("-faults"))
 		}
-		fnet, err := geo.FabricNetwork(0, *seed)
+		if *retryLimit != 0 {
+			fail(geo.RequireMesh("-retry-limit (fabric simulators have no drop/retry protocol)"))
+		}
+		fnet, err := geo.FabricNetwork(0, *lossTimeout, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -85,6 +89,9 @@ func main() {
 
 	var res sim.Result
 	if *tracePath != "" {
+		if ccFlags.Enabled {
+			fail(fmt.Errorf("-cc applies to synthetic-traffic runs, not -trace replay"))
+		}
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			fail(err)
@@ -109,11 +116,22 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		gov, err := ccFlags.Governor(net.Nodes(), *seed)
+		if err != nil {
+			fail(err)
+		}
+		if gov != nil && tel != nil {
+			gov.Register(tel.Reg)
+		}
 		res = sim.RunRate(net, sim.RateConfig{
 			Pattern: pattern, Rate: *rate, Measure: *measure, Seed: *seed,
-			Telemetry: tel,
+			Telemetry: tel, CC: gov,
 		})
 		fmt.Printf("pattern %s at rate %.3f over %d cycles\n", *trafficName, *rate, *measure)
+		if gov != nil {
+			fmt.Printf("cc: mean admitted rate %.4f pkts/node/cycle; %d injections paced\n",
+				gov.MeanRate(), res.Paced)
+		}
 	}
 	report(res, net.Nodes())
 	if err := telFlags.Finish(tel, os.Stdout); err != nil {

@@ -79,7 +79,7 @@ func main() {
 			fail(err)
 		}
 		add(geo.Topo, func(seed int64) sim.Network {
-			net, err := geo.FabricNetwork(0, seed)
+			net, err := geo.FabricNetwork(0, 0, seed)
 			if err != nil {
 				fail(err)
 			}

@@ -1,0 +1,57 @@
+package cc
+
+// The AIMD rate controller: one Hold/Increase/Decrease decision per
+// sender per update window, driven by the estimator's delay signal and
+// the window's loss ratio. The state machine follows the GCC rate
+// controller:
+//
+//	overuse (or loss ratio above NackHigh) → Decrease: rate *= Beta
+//	underuse                               → Hold: queues are draining;
+//	                                         wait for them to empty
+//	normal, loss ratio above NackLow       → Hold: indeterminate window
+//	normal, clean window                   → Increase: rate += Gain
+//
+// Decrease resets the overuse streak so a sustained overload produces
+// one multiplicative cut per detection, not one per window of backlog.
+
+// update runs one controller window for sender i: estimator verdict,
+// AIMD decision, gauge export, accumulator reset.
+func (g *Governor) update(i int, s *sender) {
+	sig := g.estimate(s)
+
+	resolved := s.acks + s.nacks + s.losses
+	var badFrac float64
+	lossy := false
+	if resolved >= int64(g.cfg.MinSamples) {
+		badFrac = float64(s.nacks+s.losses) / float64(resolved)
+		lossy = true
+	}
+
+	switch {
+	case sig == sigOveruse || (lossy && badFrac > g.cfg.NackHigh):
+		s.state = StateDecrease
+		s.rate *= g.cfg.Beta
+		if s.rate < g.cfg.MinRate {
+			s.rate = g.cfg.MinRate
+		}
+		s.overuse = 0
+	case sig == sigUnderuse:
+		s.state = StateHold
+	case lossy && badFrac > g.cfg.NackLow:
+		s.state = StateHold
+	default:
+		s.state = StateIncrease
+		s.rate += g.cfg.Gain
+		if s.rate > g.cfg.MaxRate {
+			s.rate = g.cfg.MaxRate
+		}
+	}
+
+	if g.telRate != nil {
+		g.telRate[i].Set(s.rate)
+		g.telGrad[i].Set(s.grad)
+		g.telState[i].Set(float64(s.state))
+	}
+
+	s.acks, s.rttSum, s.nacks, s.losses = 0, 0, 0, 0
+}

@@ -1,0 +1,75 @@
+package cc
+
+// The delay-gradient overuse estimator, the GCC arrival-filter +
+// over-use-detector pair collapsed to the signals a cycle-accurate
+// simulator can observe exactly. Each update window the estimator takes
+// the mean inject→eject latency of the window's acked messages, computes
+// the raw gradient against the previous window's mean, smooths it with
+// an exponential filter, and compares the filtered gradient m(i) against
+// an adaptive threshold gamma(i):
+//
+//	m > +gamma for OveruseWindows consecutive windows → overuse
+//	m < -gamma                                        → underuse
+//	otherwise                                         → normal
+//
+// gamma tracks |m| — fast when |m| is above it (ThreshKUp), slowly when
+// below (ThreshKDown) — so a persistent latency offset widens the dead
+// band instead of locking the sender into permanent overuse, the GCC
+// adaptive-threshold rule.
+
+// signal is the estimator verdict for one update window.
+type signal int8
+
+const (
+	sigNormal signal = iota
+	sigOveruse
+	sigUnderuse
+)
+
+// estimate runs one window of the delay-gradient estimator for s and
+// returns its congestion signal. Windows without acks yield no gradient
+// evidence and read as normal; the loss ratio still reaches the
+// controller, which is the signal that matters when everything drops.
+func (g *Governor) estimate(s *sender) signal {
+	if s.acks == 0 {
+		return sigNormal
+	}
+	mean := s.rttSum / float64(s.acks)
+	if !s.havePrev {
+		s.prevMean, s.havePrev = mean, true
+		return sigNormal
+	}
+	raw := mean - s.prevMean
+	s.prevMean = mean
+	s.grad += g.cfg.GradSmoothing * (raw - s.grad)
+
+	abs := s.grad
+	if abs < 0 {
+		abs = -abs
+	}
+	k := g.cfg.ThreshKDown
+	if abs > s.thresh {
+		k = g.cfg.ThreshKUp
+	}
+	s.thresh += k * (abs - s.thresh)
+	if s.thresh < g.cfg.ThreshMin {
+		s.thresh = g.cfg.ThreshMin
+	} else if s.thresh > g.cfg.ThreshMax {
+		s.thresh = g.cfg.ThreshMax
+	}
+
+	switch {
+	case s.grad > s.thresh:
+		s.overuse++
+		if s.overuse >= g.cfg.OveruseWindows {
+			return sigOveruse
+		}
+		return sigNormal
+	case s.grad < -s.thresh:
+		s.overuse = 0
+		return sigUnderuse
+	default:
+		s.overuse = 0
+		return sigNormal
+	}
+}

@@ -1,0 +1,70 @@
+package cc
+
+import (
+	"fmt"
+
+	"phastlane/internal/telemetry"
+)
+
+// maxPerSenderSeries caps the per-sender gauge fan-out: beyond this many
+// senders only the population aggregates are exported, keeping a 64x64
+// mesh from registering twelve thousand series.
+const maxPerSenderSeries = 256
+
+// Register exposes the governor on reg: population aggregates
+// (phastlane_cc_rate_mean/min/max, phastlane_cc_decreases) always, plus
+// per-sender rate/gradient/state gauges when the population is small
+// enough to enumerate. All values are plain atomic gauges written from
+// the cycle loop, so a concurrent scrape never races the simulation.
+func (g *Governor) Register(reg *telemetry.Registry) {
+	g.aggMean = reg.Gauge("phastlane_cc_rate_mean",
+		"Mean admitted injection rate across senders (packets/node/cycle).")
+	g.aggMin = reg.Gauge("phastlane_cc_rate_min",
+		"Minimum per-sender admitted injection rate.")
+	g.aggMax = reg.Gauge("phastlane_cc_rate_max",
+		"Maximum per-sender admitted injection rate.")
+	g.aggDecreases = reg.Gauge("phastlane_cc_decreases",
+		"Senders whose last AIMD decision was Decrease.")
+	g.updateAggregates()
+
+	if len(g.senders) > maxPerSenderSeries {
+		return
+	}
+	g.telRate = make([]*telemetry.Gauge, len(g.senders))
+	g.telGrad = make([]*telemetry.Gauge, len(g.senders))
+	g.telState = make([]*telemetry.Gauge, len(g.senders))
+	for i := range g.senders {
+		g.telRate[i] = reg.Gauge(fmt.Sprintf("phastlane_cc_rate{sender=%q}", fmt.Sprint(i)),
+			"Admitted injection rate of one sender (packets/cycle).")
+		g.telGrad[i] = reg.Gauge(fmt.Sprintf("phastlane_cc_gradient{sender=%q}", fmt.Sprint(i)),
+			"Filtered delay gradient of one sender (cycles/window).")
+		g.telState[i] = reg.Gauge(fmt.Sprintf("phastlane_cc_state{sender=%q}", fmt.Sprint(i)),
+			"AIMD state of one sender (0 hold, 1 increase, 2 decrease).")
+		g.telRate[i].Set(g.senders[i].rate)
+	}
+}
+
+// updateAggregates refreshes the population gauges; called from Tick at
+// update-period boundaries once registered.
+func (g *Governor) updateAggregates() {
+	min, max := g.senders[0].rate, g.senders[0].rate
+	var sum float64
+	dec := 0
+	for i := range g.senders {
+		r := g.senders[i].rate
+		sum += r
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+		if g.senders[i].state == StateDecrease {
+			dec++
+		}
+	}
+	g.aggMean.Set(sum / float64(len(g.senders)))
+	g.aggMin.Set(min)
+	g.aggMax.Set(max)
+	g.aggDecreases.Set(float64(dec))
+}

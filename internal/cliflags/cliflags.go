@@ -66,8 +66,10 @@ func (g *Geometry) RequireMesh(feature string) error {
 
 // FabricNetwork builds the generic store-and-forward simulator over the
 // selected fabric — the execution substrate the cmds use for non-mesh
-// topologies. routerDelay <= 0 keeps the fabsim default.
-func (g *Geometry) FabricNetwork(routerDelay int, seed int64) (*fabsim.Network, error) {
+// topologies. routerDelay <= 0 keeps the fabsim default; lossTimeout > 0
+// arms fabsim's delivery watchdog, honouring the shared -loss-timeout
+// flag on fabric runs exactly as the mesh simulators do.
+func (g *Geometry) FabricNetwork(routerDelay int, lossTimeout int64, seed int64) (*fabsim.Network, error) {
 	t, err := g.Build()
 	if err != nil {
 		return nil, err
@@ -76,6 +78,7 @@ func (g *Geometry) FabricNetwork(routerDelay int, seed int64) (*fabsim.Network, 
 	if routerDelay > 0 {
 		cfg.RouterDelay = routerDelay
 	}
+	cfg.LossTimeout = lossTimeout
 	cfg.Seed = seed
 	return fabsim.New(cfg), nil
 }

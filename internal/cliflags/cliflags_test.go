@@ -52,7 +52,7 @@ func TestGeometryFabrics(t *testing.T) {
 			t.Fatalf("%v built %s/%d, want %s/%d",
 				tc.args, tp.Name(), tp.Endpoints(), tc.name, tc.endpoints)
 		}
-		net, err := g.FabricNetwork(2, 1)
+		net, err := g.FabricNetwork(2, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -68,6 +68,14 @@ func (n *Network) SetLossHandler(handler func(sim.Loss)) { n.lossHandler = handl
 
 var _ sim.LossReporting = (*Network)(nil)
 
+// SetNackHandler implements sim.CongestionReporting: handler is invoked
+// synchronously with the original sender whenever a drop notice returns
+// to a parcel's owner (once per drop, before any retry-budget loss). Nil
+// disables reporting — the default, costing one branch per drop.
+func (n *Network) SetNackHandler(handler func(src mesh.NodeID)) { n.nackHandler = handler }
+
+var _ sim.CongestionReporting = (*Network)(nil)
+
 // faultPrepare rebuilds the parcel's route from its owner around the
 // currently-dead hardware, replacing resegment when a plan is armed. It
 // reports whether the parcel can launch this cycle; when it cannot

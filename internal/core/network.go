@@ -161,6 +161,7 @@ type Network struct {
 	routeUsable mesh.LinkUsable
 	frDirs      []mesh.Dir
 	lossHandler func(sim.Loss)
+	nackHandler func(src mesh.NodeID)
 	watchEvery  int64
 	nextScan    int64
 	starveAfter int64
@@ -421,6 +422,12 @@ func (n *Network) resolveDropWindow() {
 			p := rec.p
 			p.retries++
 			n.run.Retries++
+			if n.nackHandler != nil {
+				// A drop notice returning to the owner is the
+				// protocol's congestion nack; attribute it to the
+				// original sender.
+				n.nackHandler(p.src)
+			}
 			if n.cfg.RetryLimit > 0 && p.retries > n.cfg.RetryLimit {
 				// Retry budget exhausted: the delivery layer
 				// abandons the parcel instead of requeueing it.

@@ -205,6 +205,7 @@ type Network struct {
 	routeUsable mesh.LinkUsable
 	frDirs      []mesh.Dir
 	lossHandler func(sim.Loss)
+	nackHandler func(src mesh.NodeID)
 	watchEvery  int64
 	nextScan    int64
 	starveAfter int64
@@ -579,6 +580,7 @@ func (n *Network) injectPhase(nodes []mesh.NodeID) {
 		if n.faults != nil && n.faults.NodeStuck(n.cycle, node) {
 			continue
 		}
+		injected := false
 		for v := range r.vcs[mesh.Local] {
 			vc := &r.vcs[mesh.Local][v]
 			if !vc.empty() || vc.reserved || vc.availAt > n.cycle {
@@ -596,7 +598,15 @@ func (n *Network) injectPhase(nodes []mesh.NodeID) {
 			if n.faults != nil {
 				n.reapStranded(vc, node)
 			}
+			injected = true
 			break
+		}
+		if !injected && n.nackHandler != nil {
+			// NIC head stalled with no free local VC: the credit
+			// protocol's backpressure, reported as a congestion nack
+			// against the stalling node (its own traffic is what is
+			// queued here).
+			n.nackHandler(node)
 		}
 	}
 }

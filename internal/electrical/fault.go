@@ -65,6 +65,14 @@ func (n *Network) SetLossHandler(handler func(sim.Loss)) { n.lossHandler = handl
 
 var _ sim.LossReporting = (*Network)(nil)
 
+// SetNackHandler implements sim.CongestionReporting: handler is invoked
+// synchronously with the stalled node whenever a NIC head cannot find a
+// free local VC during the inject phase — the credit protocol's
+// backpressure signal. Nil disables reporting (the default).
+func (n *Network) SetNackHandler(handler func(src mesh.NodeID)) { n.nackHandler = handler }
+
+var _ sim.CongestionReporting = (*Network)(nil)
+
 // nextDir picks the next hop from at toward dst: dimension-order on a
 // healthy mesh, the minimal fault-aware detour under an armed plan. ok is
 // false when no usable route exists right now.

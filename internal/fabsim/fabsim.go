@@ -32,6 +32,7 @@ import (
 	"phastlane/internal/power"
 	"phastlane/internal/sim"
 	"phastlane/internal/stats"
+	"phastlane/internal/telemetry"
 	"phastlane/internal/topo"
 	"phastlane/internal/vctm"
 )
@@ -45,6 +46,12 @@ type Config struct {
 	RouterDelay int
 	// NICEntries is the injection queue capacity per endpoint.
 	NICEntries int
+	// LossTimeout, when positive, arms the delivery watchdog: a packet
+	// (or multicast branch) older than this many cycles is abandoned and
+	// reported through sim.LossReporting with its exact outstanding
+	// delivery count, the same guarantee the mesh simulators give. Zero
+	// keeps the fabric lossless (the default).
+	LossTimeout int64
 	// Seed is accepted for harness uniformity; the model is contention-
 	// deterministic and draws no randomness.
 	Seed int64
@@ -66,6 +73,9 @@ func (c Config) Validate() error {
 	if c.NICEntries < 1 {
 		return fmt.Errorf("fabsim: NIC entries %d", c.NICEntries)
 	}
+	if c.LossTimeout < 0 {
+		return fmt.Errorf("fabsim: loss timeout %d", c.LossTimeout)
+	}
 	return nil
 }
 
@@ -74,6 +84,9 @@ func (c Config) Validate() error {
 type flit struct {
 	msgID uint64
 	at    mesh.NodeID
+	// born is the injection cycle, the delivery watchdog's age base;
+	// multicast branches inherit the head's.
+	born int64
 	// readyAt is when switch processing at the current node completes.
 	readyAt int64
 	// route/hop drive unicast flits; route is pooled backing.
@@ -112,17 +125,29 @@ type Network struct {
 	// per source for full broadcasts, keyed for subsets.
 	bcast []*vctm.Tree
 	trees map[string]*vctm.Tree
-	// live counts deliveries not yet scheduled.
-	live   int
-	tracer func(obs.Event)
-	run    stats.Run
-	cycle  int64
+	// live counts deliveries not yet scheduled; expected and scheduled
+	// are the cumulative conservation counters the invariant audit
+	// balances against losses (expected == scheduled + lost + live).
+	live      int
+	expected  int64
+	scheduled int64
+	// Loss watchdog (armed when LossTimeout > 0) and its DFS scratch
+	// for counting a timed-out branch's outstanding subtree deliveries.
+	lossHandler func(sim.Loss)
+	watchEvery  int64
+	nextScan    int64
+	dfs         []mesh.NodeID
+	tracer      func(obs.Event)
+	run         stats.Run
+	cycle       int64
 }
 
 var (
-	_ sim.Network   = (*Network)(nil)
-	_ sim.Traceable = (*Network)(nil)
-	_ obs.Traceable = (*Network)(nil)
+	_ sim.Network                = (*Network)(nil)
+	_ sim.Traceable              = (*Network)(nil)
+	_ obs.Traceable              = (*Network)(nil)
+	_ sim.LossReporting          = (*Network)(nil)
+	_ telemetry.InvariantChecker = (*Network)(nil)
 )
 
 // New builds a generic fabric network; it panics on invalid
@@ -143,7 +168,7 @@ func New(cfg Config) *Network {
 	for i := range claims {
 		claims[i] = -1
 	}
-	return &Network{
+	n := &Network{
 		cfg:      cfg,
 		top:      t,
 		portBase: base,
@@ -152,6 +177,31 @@ func New(cfg Config) *Network {
 		bcast:    make([]*vctm.Tree, t.Endpoints()),
 		trees:    make(map[string]*vctm.Tree),
 	}
+	if cfg.LossTimeout > 0 {
+		n.watchEvery = cfg.LossTimeout / 4
+		if n.watchEvery < 1 {
+			n.watchEvery = 1
+		}
+		n.nextScan = n.watchEvery
+	}
+	return n
+}
+
+// SetLossHandler implements sim.LossReporting: handler is invoked
+// synchronously whenever the delivery watchdog abandons a packet or a
+// multicast branch (LossTimeout > 0). Nil disables reporting (losses are
+// still counted in Run().Lost).
+func (n *Network) SetLossHandler(handler func(sim.Loss)) { n.lossHandler = handler }
+
+// CheckInvariants audits delivery conservation: every delivery ever
+// promised at Inject must be scheduled, reported lost, or still live in
+// the fabric. The telemetry watchdog calls it at flush boundaries.
+func (n *Network) CheckInvariants() error {
+	if n.expected != n.scheduled+n.run.Lost+int64(n.live) {
+		return fmt.Errorf("fabsim: delivery conservation: %d expected != %d scheduled + %d lost + %d live",
+			n.expected, n.scheduled, n.run.Lost, n.live)
+	}
+	return nil
 }
 
 // Topology returns the fabric this network runs over.
@@ -211,7 +261,7 @@ func (n *Network) Inject(m sim.Message) {
 	n.run.Injected++
 	n.emit(n.cycle, obs.KindInject, m.ID, m.Src, mesh.Local)
 	f := n.getFlit()
-	f.msgID, f.at, f.readyAt = m.ID, m.Src, n.cycle
+	f.msgID, f.at, f.readyAt, f.born = m.ID, m.Src, n.cycle, n.cycle
 	switch {
 	case len(m.Dsts) == 1:
 		if m.Dsts[0] == m.Src {
@@ -219,9 +269,11 @@ func (n *Network) Inject(m sim.Message) {
 		}
 		f.route = n.top.AppendRoute(f.route[:0], m.Src, m.Dsts[0])
 		n.live++
+		n.expected++
 	default:
 		f.tree = n.multicastTree(m.Src, m.Dsts)
 		n.live += len(m.Dsts)
+		n.expected += int64(len(m.Dsts))
 	}
 	n.nics[m.Src] = append(n.nics[m.Src], f)
 }
@@ -263,6 +315,10 @@ func (n *Network) claim(node mesh.NodeID, p mesh.Dir) bool {
 // the fabric. Deliveries are appended to buf per the sim.Network
 // buffer-ownership contract; the steady-state loop does not allocate.
 func (n *Network) Step(buf []sim.Delivery) []sim.Delivery {
+	if n.watchEvery > 0 && n.cycle >= n.nextScan {
+		n.watchdogScan()
+		n.nextScan = n.cycle + n.watchEvery
+	}
 	out := buf
 	rest := n.inFlight[:0]
 	for _, d := range n.inFlight {
@@ -388,7 +444,7 @@ func (n *Network) forkInto(f *flit, tree *vctm.Tree, node mesh.NodeID, at int64,
 		b := f
 		if i > 0 {
 			b = n.getFlit()
-			b.msgID = f.msgID
+			b.msgID, b.born = f.msgID, f.born
 		}
 		b.tree, b.at, b.port, b.readyAt = tree, node, p, ready
 		n.flits = append(n.flits, b)
@@ -399,8 +455,97 @@ func (n *Network) forkInto(f *flit, tree *vctm.Tree, node mesh.NodeID, at int64,
 func (n *Network) deliver(msgID uint64, dst mesh.NodeID, at int64, kind obs.Kind) {
 	n.emit(at, kind, msgID, dst, mesh.Local)
 	n.live--
+	n.scheduled++
 	n.run.ElectricalEnergyPJ += receivePJ
 	n.inFlight = append(n.inFlight, delivery{at: at, out: sim.Delivery{MsgID: msgID, Dst: dst}})
+}
+
+// lose abandons one flit carrying count outstanding deliveries: the
+// conservation counters move from live to lost, the handler hears about
+// it, and the flit returns to the free list. The caller removes it from
+// whatever queue held it.
+func (n *Network) lose(f *flit, at mesh.NodeID, count int) {
+	n.live -= count
+	n.run.Lost += int64(count)
+	n.emit(n.cycle, obs.KindLost, f.msgID, at, mesh.Local)
+	if n.lossHandler != nil {
+		n.lossHandler(sim.Loss{MsgID: f.msgID, Node: at, Count: count, Reason: sim.LossTimeout})
+	}
+	n.putFlit(f)
+}
+
+// pendingDeliveries counts the deliveries a flit is still responsible
+// for: one for a unicast packet, the branch's whole remaining subtree for
+// a multicast branch (arrivals deliver before forking, so the subtree
+// rooted at the branch's next hop is exactly what is outstanding).
+func (n *Network) pendingDeliveries(f *flit) int {
+	if f.tree == nil {
+		return 1
+	}
+	next, ok := n.top.Neighbor(f.at, f.port)
+	if !ok {
+		panic(fmt.Sprintf("fabsim: branch uses dead port %d at node %d", f.port, f.at))
+	}
+	return n.subtreeDeliveries(f.tree, next)
+}
+
+// subtreeDeliveries walks the spanning tree from root and counts its
+// delivery nodes, using the network's reusable DFS stack.
+func (n *Network) subtreeDeliveries(tree *vctm.Tree, root mesh.NodeID) int {
+	stack := append(n.dfs[:0], root)
+	count := 0
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if tree.Deliver(node) {
+			count++
+		}
+		for _, p := range tree.Children(node) {
+			next, ok := n.top.Neighbor(node, p)
+			if !ok {
+				panic(fmt.Sprintf("fabsim: tree uses dead port %d at node %d", p, node))
+			}
+			stack = append(stack, next)
+		}
+	}
+	n.dfs = stack[:0]
+	return count
+}
+
+// watchdogScan abandons NIC entries and in-fabric flits older than
+// LossTimeout, with exact delivery counts: a queued multicast head owes
+// its full destination set, an in-fabric branch its remaining subtree.
+func (n *Network) watchdogScan() {
+	cutoff := n.cycle - n.cfg.LossTimeout
+	for node := range n.nics {
+		q := n.nics[node]
+		w := 0
+		for _, f := range q {
+			if f.born <= cutoff {
+				count := 1
+				if f.tree != nil {
+					count = f.tree.Destinations()
+				}
+				n.lose(f, mesh.NodeID(node), count)
+				continue
+			}
+			q[w] = f
+			w++
+		}
+		if w != len(q) {
+			n.nics[node] = q[:w]
+		}
+	}
+	w := 0
+	for _, f := range n.flits {
+		if f.born <= cutoff {
+			n.lose(f, f.at, n.pendingDeliveries(f))
+			continue
+		}
+		n.flits[w] = f
+		w++
+	}
+	n.flits = n.flits[:w]
 }
 
 // Energy constants, at the same first-order fidelity as the other

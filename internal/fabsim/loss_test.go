@@ -1,0 +1,170 @@
+package fabsim
+
+import (
+	"testing"
+
+	"phastlane/internal/mesh"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// TestConservationLossless checks the delivery-conservation ledger on a
+// lossless run: every injected unicast is delivered exactly once,
+// expected == scheduled once drained, and CheckInvariants stays nil at
+// every cycle along the way.
+func TestConservationLossless(t *testing.T) {
+	for _, top := range fabrics(t) {
+		n := New(DefaultConfig(top))
+		pat := traffic.UniformRandom(top.Endpoints(), 3)
+		var id uint64
+		var buf []sim.Delivery
+		for cycle := 0; cycle < 300; cycle++ {
+			for node := 0; node < top.Endpoints(); node++ {
+				src := mesh.NodeID(node)
+				dst := pat.Dest(src)
+				if dst == src || n.NICFree(src) == 0 || cycle%2 != 0 {
+					continue
+				}
+				id++
+				n.Inject(sim.Message{ID: id, Src: src, Dsts: []mesh.NodeID{dst}})
+			}
+			buf = n.Step(buf)
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("%s cycle %d: %v", top.Name(), cycle, err)
+			}
+		}
+		buf = drain(t, n, buf)
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("%s drained: %v", top.Name(), err)
+		}
+		if n.run.Lost != 0 {
+			t.Fatalf("%s: lossless run lost %d", top.Name(), n.run.Lost)
+		}
+		if int64(len(buf)) != int64(id) || n.expected != n.scheduled {
+			t.Fatalf("%s: %d injected, %d delivered (expected %d, scheduled %d)",
+				top.Name(), id, len(buf), n.expected, n.scheduled)
+		}
+	}
+}
+
+// TestWatchdogUnicastAccounting arms a tight delivery watchdog, pushes a
+// saturating unicast load, and checks the per-message ledger: every
+// message is delivered exactly once or reported lost exactly once, never
+// both, and the aggregate invariant holds with losses in play.
+func TestWatchdogUnicastAccounting(t *testing.T) {
+	for _, top := range fabrics(t) {
+		cfg := DefaultConfig(top)
+		cfg.LossTimeout = 8
+		n := New(cfg)
+		lost := make(map[uint64]int)
+		n.SetLossHandler(func(l sim.Loss) { lost[l.MsgID] += l.Count })
+		pat := traffic.UniformRandom(top.Endpoints(), 9)
+		var id uint64
+		var buf []sim.Delivery
+		delivered := make(map[uint64]int)
+		step := func() {
+			buf = n.Step(buf[:0])
+			for _, d := range buf {
+				delivered[d.MsgID]++
+			}
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("%s cycle %d: %v", top.Name(), n.cycle, err)
+			}
+		}
+		for cycle := 0; cycle < 400; cycle++ {
+			for node := 0; node < top.Endpoints(); node++ {
+				src := mesh.NodeID(node)
+				dst := pat.Dest(src)
+				if dst == src || n.NICFree(src) == 0 {
+					continue
+				}
+				id++
+				n.Inject(sim.Message{ID: id, Src: src, Dsts: []mesh.NodeID{dst}})
+			}
+			step()
+		}
+		for i := 0; i < 10000 && !n.Quiescent(); i++ {
+			step()
+		}
+		if !n.Quiescent() {
+			t.Fatalf("%s: did not drain", top.Name())
+		}
+		if n.run.Lost == 0 {
+			t.Fatalf("%s: watchdog never fired under saturating load", top.Name())
+		}
+		for m := uint64(1); m <= id; m++ {
+			if delivered[m]+lost[m] != 1 {
+				t.Fatalf("%s: msg %d delivered %d + lost %d, want exactly 1",
+					top.Name(), m, delivered[m], lost[m])
+			}
+		}
+	}
+}
+
+// TestWatchdogMulticastBranchLoss checks the exact-count contract on
+// multicast: when the watchdog reclaims a branch mid-tree, the loss
+// report carries the branch's remaining subtree, so delivered + lost
+// still equals the destination count.
+func TestWatchdogMulticastBranchLoss(t *testing.T) {
+	for _, top := range fabrics(t) {
+		cfg := DefaultConfig(top)
+		cfg.LossTimeout = 6
+		n := New(cfg)
+		lostCount := 0
+		n.SetLossHandler(func(l sim.Loss) { lostCount += l.Count })
+		var dsts []mesh.NodeID
+		for d := 1; d < top.Endpoints(); d++ {
+			dsts = append(dsts, mesh.NodeID(d))
+		}
+		n.Inject(sim.Message{ID: 1, Src: 0, Dsts: dsts})
+		var buf []sim.Delivery
+		for i := 0; i < 10000 && !n.Quiescent(); i++ {
+			buf = n.Step(buf)
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("%s cycle %d: %v", top.Name(), n.cycle, err)
+			}
+		}
+		if !n.Quiescent() {
+			t.Fatalf("%s: did not drain", top.Name())
+		}
+		if len(buf)+lostCount != len(dsts) {
+			t.Fatalf("%s: %d delivered + %d lost != %d destinations",
+				top.Name(), len(buf), lostCount, len(dsts))
+		}
+		if int64(lostCount) != n.run.Lost {
+			t.Fatalf("%s: handler count %d != Run().Lost %d", top.Name(), lostCount, n.run.Lost)
+		}
+	}
+}
+
+// hotspot sends every packet at endpoint 0, overloading its ingress
+// links on any fabric so the watchdog is guaranteed work.
+type hotspot struct{}
+
+func (hotspot) Name() string                     { return "Hotspot" }
+func (hotspot) Dest(src mesh.NodeID) mesh.NodeID { return 0 }
+
+// TestHarnessLossAccounting runs the full RunRate harness with the
+// watchdog armed under a hotspot overload and checks the harness-level
+// ledger: measured deliveries plus measured losses resolve every
+// measured message (Unresolved == 0 after drain).
+func TestHarnessLossAccounting(t *testing.T) {
+	for _, top := range fabrics(t) {
+		cfg := DefaultConfig(top)
+		cfg.LossTimeout = 64
+		n := New(cfg)
+		res := sim.RunRate(n, sim.RateConfig{
+			Pattern: hotspot{},
+			Rate:    0.9, Warmup: 100, Measure: 600, Seed: 21,
+		})
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", top.Name(), err)
+		}
+		if res.Unresolved != 0 {
+			t.Fatalf("%s: %d measured messages unresolved", top.Name(), res.Unresolved)
+		}
+		if res.Lost == 0 {
+			t.Fatalf("%s: no losses at rate 0.9 with a 64-cycle timeout", top.Name())
+		}
+	}
+}

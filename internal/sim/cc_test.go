@@ -1,0 +1,94 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"phastlane/internal/cc"
+	"phastlane/internal/sim"
+	"phastlane/internal/traffic"
+)
+
+// ccRun drives one fresh optical network at a post-knee load with the
+// given governor (nil = ungoverned).
+func ccRun(gov *cc.Governor) sim.Result {
+	return sim.RunRate(optical(), sim.RateConfig{
+		Pattern: traffic.UniformRandom(64, 11),
+		Rate:    0.30, Warmup: 150, Measure: 600, Seed: 4,
+		CC: gov,
+	})
+}
+
+// TestCCDisabledBitIdentical checks the nil-governor contract: with CC
+// unset the harness takes the pre-cc path and repeated runs are
+// bit-identical, DeliveredBySender and all.
+func TestCCDisabledBitIdentical(t *testing.T) {
+	a, b := ccRun(nil), ccRun(nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ungoverned runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Paced != 0 {
+		t.Fatalf("%d packets paced with no governor", a.Paced)
+	}
+}
+
+// TestCCUnityGovernorMatchesUngoverned checks the admission gate is
+// transparent when it never denies: a governor pinned at one token per
+// cycle reproduces the ungoverned run exactly — same deliveries, same
+// latencies, same per-sender counts — because Tick/Allow/Ack/Nack only
+// observe the run, they never perturb the network.
+func TestCCUnityGovernorMatchesUngoverned(t *testing.T) {
+	cfg := cc.DefaultConfig()
+	cfg.InitRate, cfg.MinRate, cfg.MaxRate = 1, 1, 1
+	gov := cc.New(cfg, 64)
+	governed := ccRun(gov)
+	bare := ccRun(nil)
+	if governed.Paced != 0 {
+		t.Fatalf("unity governor paced %d packets", governed.Paced)
+	}
+	if !reflect.DeepEqual(governed, bare) {
+		t.Fatalf("unity-governed run diverged from ungoverned:\n%+v\n%+v",
+			governed, bare)
+	}
+}
+
+// TestCCGovernorPacesAndSignals checks the closed loop is actually
+// wired: a tight static cap at a saturating offered load paces
+// injections, the governor sees ack traffic, and the paced packets are
+// excluded from the saturation verdict's presented load.
+func TestCCGovernorPacesAndSignals(t *testing.T) {
+	cfg := cc.DefaultConfig()
+	cfg.InitRate, cfg.MinRate, cfg.MaxRate = 0.05, 0.05, 0.05
+	gov := cc.New(cfg, 64)
+	res := ccRun(gov)
+	if res.Paced == 0 {
+		t.Fatal("cap 0.05 at offered 0.30 paced nothing")
+	}
+	if res.Run.Delivered == 0 {
+		t.Fatal("governed run delivered nothing")
+	}
+	if res.Saturated {
+		t.Fatal("paced-down run flagged saturated: presented load should exclude paced packets")
+	}
+	if got := gov.MeanRate(); got < 0.049 || got > 0.051 {
+		t.Fatalf("pinned governor rate drifted to %v", got)
+	}
+}
+
+// TestCCGovernedDeterminism checks governed runs reproduce bit-for-bit:
+// fresh network + fresh governor + same seeds is the same contract the
+// experiment engine relies on for worker-count independence.
+func TestCCGovernedDeterminism(t *testing.T) {
+	build := func() sim.Result {
+		cfg := cc.DefaultConfig()
+		cfg.Seed = 7
+		return ccRun(cc.New(cfg, 64))
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("governed runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Paced == 0 {
+		t.Fatal("AIMD governor at offered 0.30 never paced; knee tuning changed?")
+	}
+}

@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"phastlane/internal/cc"
 	"phastlane/internal/exp"
 	"phastlane/internal/mesh"
 	"phastlane/internal/obs"
@@ -125,6 +126,29 @@ func attachLoss(net Network, handler func(Loss)) {
 	}
 }
 
+// CongestionReporting is implemented by networks whose NIC layer can
+// attribute congestion nacks to the responsible sender: an optical drop
+// notice returning to the parcel's owner, or an electrical injection
+// stall (NIC head blocked with no free local VC). The handler is invoked
+// synchronously from Step, once per nack; nil disables reporting (the
+// default, costing nothing). The harness attaches the congestion
+// governor's Nack sink through this interface.
+type CongestionReporting interface {
+	SetNackHandler(func(src mesh.NodeID))
+}
+
+// attachCC installs the governor's nack sink on net when the network can
+// attribute nacks; fabrics without nacks (fabsim is lossless in-network)
+// still get governed through the harness's ack/loss plumbing.
+func attachCC(net Network, gov *cc.Governor) {
+	if gov == nil {
+		return
+	}
+	if cr, ok := net.(CongestionReporting); ok {
+		cr.SetNackHandler(gov.Nack)
+	}
+}
+
 // attachObs installs the run's event tap on net when both sides support
 // it — the collector's tracer teed with the provenance tracker's Observe
 // — and returns the sampler the harness must drive, if any. This is the
@@ -196,6 +220,13 @@ type Result struct {
 	// Unresolved counts measured messages still outstanding when the
 	// drain phase gave up: neither delivered nor reported lost.
 	Unresolved int64
+	// Paced counts offered packets the congestion governor declined to
+	// admit (synthetic runs with RateConfig.CC); always zero ungoverned.
+	Paced int64
+	// DeliveredBySender counts fully-delivered measured messages per
+	// source node (synthetic runs only) — the input to Jain's fairness
+	// index in the governed studies.
+	DeliveredBySender []int64
 	// LatencyByOp breaks trace-replay latency down by message class
 	// (broadcast requests vs unicast replies vs writebacks).
 	LatencyByOp map[packet.Op]*stats.Latency
@@ -208,9 +239,18 @@ type Result struct {
 type messageState struct {
 	inject    int64
 	remaining int
+	// src is the injecting node, kept for per-sender delivery accounting
+	// and the congestion governor's ack/loss attribution.
+	src mesh.NodeID
 	// lost marks a message with at least one abandoned delivery; its
 	// completion is counted as a loss, not a latency sample.
 	lost bool
+	// measured marks a message injected during the measure phase —
+	// the only ones latency stats, loss counts, and the drain phase
+	// consider. Governed runs track warmup messages too (with measured
+	// false) so the governor's ack stream is symmetric with its nack
+	// stream from cycle zero.
+	measured bool
 }
 
 // RateConfig controls a synthetic rate-driven run.
@@ -240,6 +280,15 @@ type RateConfig struct {
 	// and loss so the tracker can decompose end-to-end latency. Nil
 	// costs one branch per message event.
 	Prov *provenance.Tracker
+	// CC, when non-nil, attaches the per-sender congestion governor: it
+	// ticks once per injection cycle, gates every injection (a declined
+	// packet counts against the offered load like a full NIC, in
+	// Result.Paced), receives each measured message's inject→eject
+	// latency as an ack, and receives nacks (via CongestionReporting)
+	// and losses. Like the network, a governor is bound to one run —
+	// build a fresh one per experiment point. Nil costs one branch per
+	// cycle and keeps results bit-identical to an ungoverned run.
+	CC *cc.Governor
 }
 
 // RunRate drives net with Bernoulli pattern traffic and measures average
@@ -270,10 +319,14 @@ func RunRate(net Network, cfg RateConfig) Result {
 	sampler := attachObs(net, cfg.Obs, prov)
 	tel := cfg.Telemetry
 	telASR, telIC := attachTelemetry(net, tel)
+	gov := cfg.CC
+	attachCC(net, gov)
+	res.DeliveredBySender = make([]int64, net.Nodes())
 	nrun := net.Run()
 	// Losses reported by the delivery layer resolve measured messages so
 	// the drain phase does not wait forever for packets that will never
 	// arrive. Unrecorded (warmup) losses need no bookkeeping.
+	var recorded int64
 	attachLoss(net, func(l Loss) {
 		if base == 0 || l.MsgID < base || l.MsgID-base >= uint64(len(states)) {
 			return
@@ -286,6 +339,12 @@ func RunRate(net Network, cfg RateConfig) Result {
 		st.remaining -= l.Count
 		if st.remaining <= 0 {
 			st.remaining = 0
+			if gov != nil {
+				gov.Lost(st.src)
+			}
+			if !st.measured {
+				return
+			}
 			active--
 			res.Lost++
 			if tel != nil {
@@ -302,8 +361,17 @@ func RunRate(net Network, cfg RateConfig) Result {
 
 	injectTick := func(record bool) {
 		cycleInjected = 0
+		if gov != nil {
+			gov.Tick(cycle)
+		}
 		for _, in := range inj.Tick() {
 			offered++
+			if gov != nil && !gov.Allow(in.Src) {
+				// Governor declined: the packet is paced out, an
+				// admission decision rather than a saturation symptom.
+				res.Paced++
+				continue
+			}
 			if net.NICFree(in.Src) <= 0 {
 				// Source-queue full: the packet is lost to the
 				// measurement, a saturation symptom.
@@ -319,12 +387,15 @@ func RunRate(net Network, cfg RateConfig) Result {
 			}
 			dsts[0] = in.Dst
 			net.Inject(Message{ID: nextID, Src: in.Src, Dsts: dsts, Op: packet.OpSynthetic})
-			if record {
+			if record || gov != nil {
 				if base == 0 {
 					base = nextID
 				}
-				states = append(states, messageState{inject: cycle, remaining: 1})
-				active++
+				states = append(states, messageState{inject: cycle, remaining: 1, src: in.Src, measured: record})
+				if record {
+					active++
+					recorded++
+				}
 			}
 		}
 	}
@@ -339,10 +410,15 @@ func RunRate(net Network, cfg RateConfig) Result {
 			st := &states[d.MsgID-base]
 			st.remaining--
 			if st.remaining == 0 {
-				active--
+				if st.measured {
+					active--
+				}
 				if st.lost {
 					// A partially-lost message completing its
 					// surviving deliveries counts as a loss.
+					if !st.measured {
+						continue
+					}
 					res.Lost++
 					if tel != nil {
 						tel.Lost.Inc()
@@ -353,9 +429,16 @@ func RunRate(net Network, cfg RateConfig) Result {
 					continue
 				}
 				lat := float64(cycle - st.inject + 1)
+				if gov != nil {
+					gov.Ack(st.src, lat)
+				}
+				if !st.measured {
+					continue
+				}
 				res.Run.Latency.Add(lat)
 				completed++
 				latencySum += lat
+				res.DeliveredBySender[st.src]++
 				if tel != nil {
 					tel.Latency.Observe(lat)
 				}
@@ -373,7 +456,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 			if cycle%tel.FlushEvery == 0 {
 				telemetryFlush(tel, telASR, telIC, telemetry.FlushStats{
 					Cycle:             cycle,
-					Injected:          int64(len(states)),
+					Injected:          recorded,
 					Delivered:         int64(res.Run.Latency.Count()),
 					Lost:              res.Lost,
 					InFlight:          int64(active),
@@ -401,7 +484,7 @@ func RunRate(net Network, cfg RateConfig) Result {
 	if tel != nil {
 		telemetryFlush(tel, telASR, telIC, telemetry.FlushStats{
 			Cycle:             cycle,
-			Injected:          int64(len(states)),
+			Injected:          recorded,
 			Delivered:         int64(res.Run.Latency.Count()),
 			Lost:              res.Lost,
 			InFlight:          int64(active),
@@ -414,7 +497,11 @@ func RunRate(net Network, cfg RateConfig) Result {
 	res.Run.Delivered = int64(res.Run.Latency.Count())
 	res.Unresolved = int64(active)
 	copyCounters(&res.Run, net.Run())
-	if active > 0 || (offered > 0 && float64(accepted) < 0.9*float64(offered)) {
+	// Paced-out packets were an admission decision, not an overload
+	// symptom, so the accepted-fraction test measures against what the
+	// governor actually presented to the NIC.
+	presented := offered - res.Paced
+	if active > 0 || (presented > 0 && float64(accepted) < 0.9*float64(presented)) {
 		res.Saturated = true
 	}
 	return res
